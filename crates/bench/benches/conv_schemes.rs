@@ -1,0 +1,47 @@
+//! Criterion benchmarks of the three secure-convolution schemes under
+//! real HE on a scaled-down layer — the measured counterpart of the
+//! per-block microbenchmarks (Tables VII–IX run through the calibrated
+//! simulator; this measures the actual implementations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spot_core::patching::PatchMode;
+use spot_core::{channelwise, cheetah, spot};
+use spot_he::prelude::*;
+use spot_tensor::tensor::{Kernel, Tensor};
+
+fn conv_schemes(c: &mut Criterion) {
+    let ctx = spot_he::context::Context::new(EncryptionParams::new(ParamLevel::N4096));
+    let mut rng = StdRng::seed_from_u64(2);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let input = Tensor::random(8, 8, 8, 6, 1);
+    let kernel = Kernel::random(8, 8, 3, 3, 4, 2);
+
+    let mut group = c.benchmark_group("secure-conv/8x8x8->8");
+    group.sample_size(10);
+    group.bench_function("channelwise", |b| {
+        b.iter(|| channelwise::execute(&ctx, &keygen, &input, &kernel, 1, &mut rng))
+    });
+    group.bench_function("cheetah", |b| {
+        b.iter(|| cheetah::execute(&ctx, &keygen, &input, &kernel, 1, &mut rng))
+    });
+    group.bench_function("spot-tweaked", |b| {
+        b.iter(|| {
+            spot::execute(
+                &ctx,
+                &keygen,
+                &input,
+                &kernel,
+                1,
+                (4, 4),
+                PatchMode::Tweaked,
+                &mut rng,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, conv_schemes);
+criterion_main!(benches);

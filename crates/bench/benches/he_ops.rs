@@ -1,0 +1,52 @@
+//! Criterion benchmarks of the raw BFV primitives — the measured
+//! counterpart of the paper's Table IV. Run with `cargo bench`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spot_he::prelude::*;
+
+fn bench_level(c: &mut Criterion, level: ParamLevel) {
+    let ctx = Context::new(EncryptionParams::new(level));
+    let mut rng = StdRng::seed_from_u64(1);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let pk = keygen.public_key(&mut rng);
+    let encoder = BatchEncoder::new(&ctx);
+    let encryptor = Encryptor::new(&ctx, pk);
+    let decryptor = Decryptor::new(&ctx, keygen.secret_key().clone());
+    let evaluator = Evaluator::new(&ctx);
+    let values: Vec<u64> = (0..ctx.degree() as u64)
+        .map(|i| i % ctx.params().plain_modulus())
+        .collect();
+    let pt = encoder.encode(&values);
+    let lifted = pt.lift(&ctx);
+    let ct = encryptor.encrypt(&pt, &mut rng);
+    let ct2 = encryptor.encrypt(&pt, &mut rng);
+
+    let mut group = c.benchmark_group(format!("he/{level}"));
+    group.sample_size(10);
+    group.bench_function("encrypt", |b| {
+        b.iter(|| encryptor.encrypt(&pt, &mut rng))
+    });
+    group.bench_function("decrypt", |b| b.iter(|| decryptor.decrypt(&ct)));
+    group.bench_function("mult_plain", |b| {
+        b.iter(|| evaluator.multiply_lifted(&ct, &lifted))
+    });
+    group.bench_function("add", |b| b.iter(|| evaluator.add(&ct, &ct2)));
+    if level.supports_rotation() {
+        let gk = keygen.galois_keys(&evaluator.galois_elements(&[1], false), &mut rng);
+        group.bench_function("rotate", |b| {
+            b.iter(|| evaluator.rotate_rows(&ct, 1, &gk))
+        });
+    }
+    group.bench_function("encode", |b| b.iter(|| encoder.encode(&values)));
+    group.finish();
+}
+
+fn he_ops(c: &mut Criterion) {
+    bench_level(c, ParamLevel::N4096);
+    bench_level(c, ParamLevel::N8192);
+}
+
+criterion_group!(benches, he_ops);
+criterion_main!(benches);

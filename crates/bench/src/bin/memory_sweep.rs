@@ -1,0 +1,35 @@
+//! Extension experiment: how each scheme's latency scales with the
+//! client's ciphertext capacity (generalizing Table I / Fig. 3 to all
+//! three schemes) — the crossover at which more client memory stops
+//! mattering is where SPOT's pipelining advantage comes from.
+
+use spot_core::inference::{plan_conv, Scheme};
+use spot_pipeline::device::DeviceProfile;
+use spot_pipeline::report::{secs, Table};
+use spot_pipeline::sim::{simulate_conv, SimConfig};
+use spot_tensor::models::ConvShape;
+
+fn main() {
+    let shape = ConvShape::new(28, 28, 128, 512, 3, 1);
+    let caps = [1usize, 2, 4, 8, 16, 64];
+    let mut table = Table::new(
+        "Memory sweep — 28x28x128->512 conv latency vs client ciphertext capacity (Nexus-class CPU)",
+        &["Capacity (cts)", "CrypTFlow2", "Cheetah", "SPOT"],
+    );
+    for cap in caps {
+        let mut row = vec![format!("{cap}")];
+        for scheme in Scheme::ALL {
+            let plan = plan_conv(&shape, scheme, true);
+            let client = DeviceProfile::nexus6().with_capacity(cap, plan.ciphertext_bytes);
+            let t = simulate_conv(&plan, &SimConfig::with_client(client)).timing.total_s;
+            row.push(secs(t));
+        }
+        table.row(&row);
+    }
+    println!("{}", table.render());
+    println!(
+        "SPOT's curve is nearly flat: its pipeline never needs more than a\n\
+         couple of in-flight ciphertexts, while the barrier schemes keep\n\
+         improving with memory they do not have on tiny clients."
+    );
+}

@@ -1,0 +1,77 @@
+//! Table VI: patch size (H'×W') selection for each layer shape and slot
+//! budget S' ∈ {4096, 8192, 16384}.
+//!
+//! Two variants are printed: the paper's accounting (a full-`N` slot
+//! vector per ciphertext) and this implementation's lane-contained
+//! pieces (`N/2` slots per lane, two pieces per ciphertext) — the
+//! per-ciphertext payload is identical.
+
+use spot_core::patching::PatchMode;
+use spot_core::select::select_patch_with_slots;
+use spot_pipeline::report::Table;
+use spot_tensor::models::ConvShape;
+
+fn main() {
+    let layers = [
+        ConvShape::new(56, 56, 64, 64, 3, 1),
+        ConvShape::new(28, 28, 128, 128, 3, 1),
+        ConvShape::new(14, 14, 256, 256, 3, 1),
+        ConvShape::new(7, 7, 512, 512, 3, 1),
+    ];
+    let budgets = [4096usize, 8192, 16384];
+    let paper: [[&str; 3]; 4] = [
+        ["8*8", "16*8", "16*16"],
+        ["8*4", "8*8", "16*8"],
+        ["4*4", "8*4", "8*8"],
+        ["2*4", "4*4", "8*4"],
+    ];
+
+    let mut table = Table::new(
+        "Table VI — patch size selection per layer and S' (ours | paper)",
+        &[
+            "Layer (W H Ci Co)",
+            "S'=4096 (co_mod=109)",
+            "S'=8192 (co_mod=218)",
+            "S'=16384 (co_mod=438)",
+        ],
+    );
+    for (li, shape) in layers.iter().enumerate() {
+        let mut row = vec![format!(
+            "{} {} {} {}",
+            shape.width, shape.height, shape.c_in, shape.c_out
+        )];
+        for (bi, &slots) in budgets.iter().enumerate() {
+            let ours = select_patch_with_slots(shape, slots, PatchMode::Tweaked)
+                .map(|(h, w)| format!("{h}*{w}"))
+                .unwrap_or_else(|| "-".into());
+            row.push(format!("{ours} | {}", paper[li][bi]));
+        }
+        table.row(&row);
+    }
+    println!("{}", table.render());
+
+    // Implementation view: split-lane packing gives each patch the full
+    // N / C_i budget; report pieces per ciphertext and slot utilization.
+    let mut impl_table = Table::new(
+        "Implementation view — pieces/ct and slot utilization per level",
+        &["Layer", "D=4096", "D=8192", "D=16384"],
+    );
+    for shape in &layers {
+        let mut row = vec![format!(
+            "{} {} {} {}",
+            shape.width, shape.height, shape.c_in, shape.c_out
+        )];
+        for level in [
+            spot_he::params::ParamLevel::N4096,
+            spot_he::params::ParamLevel::N8192,
+            spot_he::params::ParamLevel::N16384,
+        ] {
+            let cell = spot_core::select::select_patch(shape, level, PatchMode::Tweaked)
+                .map(|c| format!("{} pc/ct, {}%", c.pieces_per_ct, c.utilization_pct))
+                .unwrap_or_else(|| "-".into());
+            row.push(cell);
+        }
+        impl_table.row(&row);
+    }
+    println!("{}", impl_table.render());
+}

@@ -1,0 +1,19 @@
+//! # spot-bench — the harness regenerating every table and figure of the
+//! SPOT paper.
+//!
+//! Each binary in `src/bin/` prints one table (`table1` … `table10`,
+//! `fig11`, `fig6_timeline`) with the same rows/columns the paper
+//! reports; see EXPERIMENTS.md for the paper-vs-measured record. The
+//! shared machinery here builds block workloads, calibrates the real HE
+//! operation costs of `spot-he` on the local machine, and wires scheme
+//! plans into the pipeline simulator.
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod workloads;
+
+pub use calibrate::calibrate_he_costs;
+pub use workloads::{
+    basic_block_shapes, bottleneck_block_shapes, simulate_block, vgg_block_shapes, BlockResult,
+};

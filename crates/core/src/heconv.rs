@@ -1,0 +1,428 @@
+//! The generic lane-MIMO homomorphic convolution engine.
+//!
+//! Both the channel-wise baseline (CrypTFlow2-style SISO/MIMO, Sec. III-A
+//! of the paper) and SPOT's structure-patching convolution reduce to the
+//! same primitive: given one packed ciphertext whose lanes hold channel
+//! blocks in a [`LaneLayout`], compute for each *output group* the sum
+//! over kernel taps and block diagonals
+//!
+//! ```text
+//! out_g = Σ_d rotate_blocks( Σ_tap rotate(ct, tap) ⊙ P_{g,d,tap}, d )
+//! ```
+//!
+//! with the kernel plaintexts `P` carrying the tap weights *and* the
+//! boundary masks (zeros wherever a rotation would pull a value from a
+//! neighbouring piece, channel block, or padding slot). The engine also
+//! handles the cross-lane products channel-wise packing needs (one
+//! column-swap per input ciphertext) and the block-folding used when
+//! `C_o < C_i` (Fig. 7 (b)).
+
+use crate::layout::LaneLayout;
+use spot_he::ciphertext::Ciphertext;
+use spot_he::context::Context;
+use spot_he::encoding::{galois_elt_column_swap, galois_elt_from_step, BatchEncoder};
+use spot_he::evaluator::{Evaluator, OpCounts};
+use spot_he::keys::{GaloisKeys, KeyGenerator};
+use spot_tensor::tensor::Kernel;
+use std::sync::Arc;
+
+/// Channel assignment for one ciphertext: `map[lane][block]` is the
+/// input-channel index held by that block (`None` = padding).
+pub type ChannelMap = Vec<Vec<Option<usize>>>;
+
+/// One output group: `out_ch[lane][block]` is the output channel the
+/// block of the result ciphertext should hold (`None` = unused).
+#[derive(Debug, Clone)]
+pub struct GroupSpec {
+    /// Output-channel assignment per lane and block.
+    pub out_ch: Vec<Vec<Option<usize>>>,
+}
+
+/// The engine: HE context plus the Galois keys a convolution needs.
+#[derive(Debug)]
+pub struct HeConvEngine {
+    ctx: Arc<Context>,
+    encoder: BatchEncoder,
+    evaluator: Evaluator,
+    galois: GaloisKeys,
+    /// Whether the baby-step/giant-step alignment optimization is used
+    /// (SPOT yes; the CrypTFlow2 baseline follows its published
+    /// output-rotation algorithm without it).
+    use_bsgs: bool,
+}
+
+/// The kernel taps of a `k_h × k_w` window with "same" padding
+/// convention: offsets `(dy, dx)` and their kernel indices.
+pub fn kernel_taps(k_h: usize, k_w: usize) -> Vec<(i64, i64, usize, usize)> {
+    let ph = (k_h - 1) / 2;
+    let pw = (k_w - 1) / 2;
+    let mut taps = Vec::with_capacity(k_h * k_w);
+    for kh in 0..k_h {
+        for kw in 0..k_w {
+            taps.push((kh as i64 - ph as i64, kw as i64 - pw as i64, kh, kw));
+        }
+    }
+    taps
+}
+
+/// Chooses the baby-step/giant-step split for the diagonal alignment:
+/// minimizes total rotations
+/// `versions·(kk·b − 1) + groups·(D/b − 1)` over power-of-two `b | D`.
+///
+/// Returns `(baby, giants)` with `baby · giants = D`.
+pub fn bsgs_split(diagonals: usize, groups: usize, versions: usize, kk: usize) -> (usize, usize) {
+    debug_assert!(diagonals.is_power_of_two());
+    let mut best = (1usize, usize::MAX);
+    let mut b = 1usize;
+    while b <= diagonals {
+        let cost = versions * (kk * b).saturating_sub(1)
+            + groups * (diagonals / b).saturating_sub(1);
+        if cost < best.1 {
+            best = (b, cost);
+        }
+        b *= 2;
+    }
+    (best.0, diagonals / best.0)
+}
+
+impl HeConvEngine {
+    /// Builds an engine with Galois keys covering the rotations needed
+    /// for the given layout, kernel window, diagonal count, fold steps,
+    /// and optionally the column swap.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new<R: rand::Rng>(
+        ctx: &Arc<Context>,
+        keygen: &KeyGenerator,
+        layout: &LaneLayout,
+        k_h: usize,
+        k_w: usize,
+        diagonals: usize,
+        groups: usize,
+        fold_steps: &[usize],
+        column_swap: bool,
+        use_bsgs: bool,
+        rng: &mut R,
+    ) -> Self {
+        let n = ctx.degree();
+        let versions = if column_swap { 2 } else { 1 };
+        let (baby, giants) = if use_bsgs {
+            bsgs_split(diagonals, groups.max(1), versions, k_h * k_w)
+        } else {
+            (1, diagonals)
+        };
+        let mut elements = Vec::new();
+        for (dy, dx, _, _) in kernel_taps(k_h, k_w) {
+            let step = dy * layout.piece_w as i64 + dx;
+            if step != 0 {
+                elements.push(galois_elt_from_step(step, n));
+            }
+        }
+        for b in 1..baby {
+            elements.push(galois_elt_from_step(layout.block_rotation_step(b), n));
+        }
+        for j in 1..giants {
+            elements.push(galois_elt_from_step(
+                layout.block_rotation_step(j * baby),
+                n,
+            ));
+        }
+        for &f in fold_steps {
+            elements.push(galois_elt_from_step(layout.block_rotation_step(f), n));
+        }
+        if column_swap {
+            elements.push(galois_elt_column_swap(n));
+        }
+        elements.sort_unstable();
+        elements.dedup();
+        let galois = keygen.galois_keys(&elements, rng);
+        Self {
+            ctx: Arc::clone(ctx),
+            encoder: BatchEncoder::new(ctx),
+            evaluator: Evaluator::new(ctx),
+            galois,
+            use_bsgs,
+        }
+    }
+
+    /// The HE context.
+    pub fn context(&self) -> &Arc<Context> {
+        &self.ctx
+    }
+
+    /// The batch encoder.
+    pub fn encoder(&self) -> &BatchEncoder {
+        &self.encoder
+    }
+
+    /// The evaluator.
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// The Galois keys held by the engine.
+    pub fn galois_keys(&self) -> &GaloisKeys {
+        &self.galois
+    }
+
+    /// Builds the kernel plaintext for `(group, diagonal, tap)` under the
+    /// given channel maps. `in_maps` has one entry per ciphertext version
+    /// (the original and, for channel-wise packing, the column-swapped
+    /// copy); version `v`'s plaintext uses `in_maps[v]`.
+    #[allow(clippy::too_many_arguments)]
+    fn kernel_plaintext(
+        &self,
+        layout: &LaneLayout,
+        in_map: &ChannelMap,
+        group: &GroupSpec,
+        d: usize,
+        pre_rot: usize,
+        dy: i64,
+        dx: i64,
+        kh: usize,
+        kw: usize,
+        kernel: &Kernel,
+    ) -> Option<spot_he::encoding::Plaintext> {
+        let t = self.ctx.params().plain_modulus();
+        let r = layout.lane_size;
+        let mut slots = vec![0u64; 2 * r];
+        let mut any = false;
+        for lane in 0..2 {
+            for b in 0..layout.blocks {
+                let Some(in_c) = in_map[lane][b] else { continue };
+                if in_c >= kernel.in_channels() {
+                    continue;
+                }
+                let out_block = (b + layout.blocks - d) % layout.blocks;
+                let Some(out_c) = group.out_ch[lane][out_block] else {
+                    continue;
+                };
+                if out_c >= kernel.out_channels() {
+                    continue;
+                }
+                let w = kernel.at(out_c, in_c, kh, kw);
+                if w == 0 {
+                    continue;
+                }
+                let wf = w.rem_euclid(t as i64) as u64;
+                for y in 0..layout.piece_h {
+                    let ty = y as i64 + dy;
+                    if ty < 0 || ty >= layout.piece_h as i64 {
+                        continue;
+                    }
+                    for x in 0..layout.piece_w {
+                        let tx = x as i64 + dx;
+                        if tx < 0 || tx >= layout.piece_w as i64 {
+                            continue;
+                        }
+                        for g in 0..layout.groups {
+                            let pos = (layout.slot(b, g, y, x) + r - pre_rot % r) % r;
+                            slots[lane * r + pos] = wf;
+                            any = true;
+                        }
+                    }
+                }
+            }
+        }
+        if any {
+            Some(self.encoder.encode(&slots))
+        } else {
+            None
+        }
+    }
+
+    /// Runs the lane-MIMO convolution of one input ciphertext.
+    ///
+    /// * `in_maps`: channel maps per ciphertext version. One entry means
+    ///   both lanes hold the same channels (patch packing); two entries
+    ///   trigger the column-swapped cross-lane products (channel-wise).
+    /// * `groups`: the output groups, one result ciphertext each.
+    /// * `diagonals`: number of block diagonals (`= blocks` when
+    ///   `C_o ≥ C_i`; `= C_o_pad` with folding when `C_o < C_i`).
+    /// * `fold_steps`: block-shift amounts folded into the result by
+    ///   rotate-and-add after diagonal alignment (empty when `C_o ≥ C_i`).
+    ///
+    /// Returns one ciphertext per group. HE operations are recorded in
+    /// `counts`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv_one_ct(
+        &self,
+        ct: &Ciphertext,
+        layout: &LaneLayout,
+        in_maps: &[ChannelMap],
+        groups: &[GroupSpec],
+        diagonals: usize,
+        fold_steps: &[usize],
+        kernel: &Kernel,
+        counts: &mut OpCounts,
+    ) -> Vec<Ciphertext> {
+        assert!(!in_maps.is_empty() && in_maps.len() <= 2);
+        assert!(diagonals >= 1 && layout.blocks % diagonals == 0);
+        let ev = &self.evaluator;
+        let taps = kernel_taps(kernel.k_h(), kernel.k_w());
+        let (baby, giants) = if self.use_bsgs {
+            bsgs_split(diagonals, groups.len(), in_maps.len(), taps.len())
+        } else {
+            (1, diagonals)
+        };
+
+        // Ciphertext versions: original and (for cross-lane) column swap.
+        let mut versions = vec![ct.clone()];
+        if in_maps.len() == 2 {
+            versions.push(ev.rotate_columns(ct, &self.galois));
+            counts.rotate += 1;
+        }
+
+        // Pre-rotate every version by every tap and baby step (shared
+        // across output groups and giant steps — the BSGS trade).
+        let mut rotated: Vec<Vec<Vec<Ciphertext>>> = Vec::with_capacity(versions.len());
+        for v in &versions {
+            let mut per_tap = Vec::with_capacity(taps.len());
+            for &(dy, dx, _, _) in &taps {
+                let step = dy * layout.piece_w as i64 + dx;
+                let base = if step == 0 {
+                    v.clone()
+                } else {
+                    counts.rotate += 1;
+                    ev.rotate_rows(v, step, &self.galois)
+                };
+                let mut per_baby = Vec::with_capacity(baby);
+                for b in 0..baby {
+                    if b == 0 {
+                        per_baby.push(base.clone());
+                    } else {
+                        counts.rotate += 1;
+                        per_baby.push(ev.rotate_rows(
+                            &base,
+                            layout.block_rotation_step(b),
+                            &self.galois,
+                        ));
+                    }
+                }
+                per_tap.push(per_baby);
+            }
+            rotated.push(per_tap);
+        }
+
+        let mut outputs = Vec::with_capacity(groups.len());
+        for group in groups {
+            let mut acc_total: Option<Ciphertext> = None;
+            for j in 0..giants {
+                let mut acc_j: Option<Ciphertext> = None;
+                for b in 0..baby {
+                    let d = j * baby + b;
+                    if d >= diagonals {
+                        break;
+                    }
+                    for (vi, in_map) in in_maps.iter().enumerate() {
+                        for (ti, &(dy, dx, kh, kw)) in taps.iter().enumerate() {
+                            // plaintext for diagonal d, pre-rotated left
+                            // by b blocks so the single giant rotation
+                            // completes the alignment
+                            let pre = b * layout.groups * layout.piece_slots;
+                            let Some(pt) = self.kernel_plaintext(
+                                layout, in_map, group, d, pre, dy, dx, kh, kw, kernel,
+                            ) else {
+                                continue;
+                            };
+                            let prod = ev.multiply_plain(&rotated[vi][ti][b], &pt);
+                            counts.mult_plain += 1;
+                            match &mut acc_j {
+                                None => acc_j = Some(prod),
+                                Some(a) => {
+                                    ev.add_inplace(a, &prod);
+                                    counts.add += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                let Some(mut acc_j) = acc_j else { continue };
+                if j > 0 {
+                    acc_j = ev.rotate_rows(
+                        &acc_j,
+                        layout.block_rotation_step(j * baby),
+                        &self.galois,
+                    );
+                    counts.rotate += 1;
+                }
+                match &mut acc_total {
+                    None => acc_total = Some(acc_j),
+                    Some(a) => {
+                        ev.add_inplace(a, &acc_j);
+                        counts.add += 1;
+                    }
+                }
+            }
+            let mut out = acc_total.unwrap_or_else(|| {
+                // All-zero kernel for this group: a zero ciphertext is a
+                // multiply of the input by an all-zero plaintext.
+                let zero =
+                    self.encoder.encode(&vec![0u64; self.ctx.degree()]);
+                counts.mult_plain += 1;
+                ev.multiply_plain(ct, &zero)
+            });
+            // Fold partial sums across block strides (C_o < C_i case).
+            for &f in fold_steps {
+                let rot = ev.rotate_rows(&out, layout.block_rotation_step(f), &self.galois);
+                counts.rotate += 1;
+                ev.add_inplace(&mut out, &rot);
+                counts.add += 1;
+            }
+            outputs.push(out);
+        }
+        outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taps_centered() {
+        let taps = kernel_taps(3, 3);
+        assert_eq!(taps.len(), 9);
+        assert!(taps.contains(&(0, 0, 1, 1)));
+        assert!(taps.contains(&(-1, -1, 0, 0)));
+        assert!(taps.contains(&(1, 1, 2, 2)));
+        let taps1 = kernel_taps(1, 1);
+        assert_eq!(taps1, vec![(0, 0, 0, 0)]);
+    }
+
+    #[test]
+    fn bsgs_split_is_optimal_and_exact() {
+        for d in [1usize, 2, 8, 64, 256] {
+            for groups in [1usize, 2, 4, 16] {
+                for versions in [1usize, 2] {
+                    let (baby, giants) = bsgs_split(d, groups, versions, 9);
+                    assert_eq!(baby * giants, d, "split must cover all diagonals");
+                    // cost of the chosen split is minimal over all pow2 splits
+                    let cost = |b: usize| {
+                        versions * (9 * b).saturating_sub(1)
+                            + groups * (d / b).saturating_sub(1)
+                    };
+                    let chosen = cost(baby);
+                    let mut b = 1;
+                    while b <= d {
+                        assert!(chosen <= cost(b), "d={d} g={groups}: {baby} vs {b}");
+                        b *= 2;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bsgs_degenerates_for_single_diagonal() {
+        assert_eq!(bsgs_split(1, 8, 2, 9), (1, 1));
+    }
+
+    #[test]
+    fn taps_even_kernel() {
+        // 2x2 kernel: padding (k-1)/2 = 0, offsets 0..2
+        let taps = kernel_taps(2, 2);
+        assert_eq!(taps.len(), 4);
+        assert!(taps.contains(&(0, 0, 0, 0)));
+        assert!(taps.contains(&(1, 1, 1, 1)));
+    }
+}

@@ -1,0 +1,29 @@
+//! # spot-core — SPOT: structure patching and overlap tweaking
+//!
+//! The paper's primary contribution: HE convolution schemes for
+//! privacy-preserving CNN inference with memory-constrained clients.
+//!
+//! * [`channelwise`] — the CrypTFlow2/GAZELLE-style channel-wise packing
+//!   baseline (SISO/MIMO rotation-based convolution).
+//! * [`patching`] + [`spot`] — SPOT's structure patching pipeline with
+//!   patch overlap tweaking.
+//! * [`cheetah`] — the Cheetah coefficient-encoding baseline.
+//! * [`select`] — patch-size / parameter-level selection (Table VI).
+//! * [`complexity`] — the Table V operation-count formulas.
+//! * [`inference`] — end-to-end secure inference over full networks.
+//! * [`batch`] — multi-image throughput planning (the Channel-By-Channel
+//!   comparison of Sec. II-E).
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod channelwise;
+pub mod cheetah;
+pub mod complexity;
+pub mod heconv;
+pub mod inference;
+pub mod layout;
+pub mod memory_util;
+pub mod patching;
+pub mod select;
+pub mod spot;

@@ -1,0 +1,167 @@
+//! BFV ciphertexts.
+
+use crate::context::Context;
+use crate::poly::Poly;
+use std::sync::Arc;
+
+/// A size-2 BFV ciphertext `(c0, c1)` satisfying
+/// `c0 + c1·s = Δ·m + e (mod q)`. Stored in NTT form.
+#[derive(Debug, Clone)]
+pub struct Ciphertext {
+    pub(crate) c0: Poly,
+    pub(crate) c1: Poly,
+}
+
+impl Ciphertext {
+    /// Builds a ciphertext from its two component polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomials are not both in NTT form.
+    pub fn from_parts(c0: Poly, c1: Poly) -> Self {
+        use crate::poly::PolyForm;
+        assert_eq!(c0.form(), PolyForm::Ntt, "c0 must be in NTT form");
+        assert_eq!(c1.form(), PolyForm::Ntt, "c1 must be in NTT form");
+        Self { c0, c1 }
+    }
+
+    /// The first component polynomial.
+    pub fn c0(&self) -> &Poly {
+        &self.c0
+    }
+
+    /// The second component polynomial.
+    pub fn c1(&self) -> &Poly {
+        &self.c1
+    }
+
+    /// The context this ciphertext belongs to.
+    pub fn context(&self) -> &Arc<Context> {
+        self.c0.context()
+    }
+
+    /// Serialized size in bytes (matches
+    /// [`EncryptionParams::ciphertext_bytes`]).
+    ///
+    /// [`EncryptionParams::ciphertext_bytes`]: crate::params::EncryptionParams::ciphertext_bytes
+    pub fn byte_size(&self) -> usize {
+        self.context().params().ciphertext_bytes()
+    }
+
+    /// Serializes the ciphertext to bytes: a 16-byte header followed by
+    /// `c0` then `c1`, each modulus's residues bit-packed at that
+    /// modulus's width (the size the paper's Table IV reports).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let ctx = self.context();
+        let mut out = Vec::with_capacity(self.byte_size());
+        out.extend_from_slice(&(ctx.degree() as u64).to_le_bytes());
+        out.extend_from_slice(&(ctx.moduli_count() as u64).to_le_bytes());
+        for poly in [&self.c0, &self.c1] {
+            for (i, m) in ctx.moduli().iter().enumerate() {
+                let bits = 64 - m.value().leading_zeros() as usize;
+                out.extend_from_slice(&pack_bits(poly.residues(i), bits));
+            }
+        }
+        out
+    }
+
+    /// Deserializes a ciphertext produced by [`Ciphertext::to_bytes`]
+    /// under the same context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the header does not match the context or the payload is
+    /// truncated.
+    pub fn from_bytes(ctx: &Arc<Context>, bytes: &[u8]) -> Self {
+        use crate::poly::PolyForm;
+        let n = ctx.degree();
+        let k = ctx.moduli_count();
+        assert!(bytes.len() >= 16, "ciphertext header missing");
+        let hdr_n = u64::from_le_bytes(bytes[0..8].try_into().unwrap()) as usize;
+        let hdr_k = u64::from_le_bytes(bytes[8..16].try_into().unwrap()) as usize;
+        assert_eq!((hdr_n, hdr_k), (n, k), "ciphertext header mismatch");
+        assert_eq!(
+            bytes.len(),
+            ctx.params().ciphertext_bytes(),
+            "ciphertext payload size"
+        );
+        let mut off = 16usize;
+        let mut read_poly = || {
+            let mut data = Vec::with_capacity(k * n);
+            for m in ctx.moduli() {
+                let bits = 64 - m.value().leading_zeros() as usize;
+                let section = (n * bits).div_ceil(8);
+                data.extend(unpack_bits(&bytes[off..off + section], bits, n));
+                off += section;
+            }
+            Poly::from_residues(ctx, data, PolyForm::Ntt)
+        };
+        let c0 = read_poly();
+        let c1 = read_poly();
+        Self { c0, c1 }
+    }
+}
+
+/// Packs `values` into a byte stream at `bits` bits per value
+/// (little-endian bit order).
+pub fn pack_bits(values: &[u64], bits: usize) -> Vec<u8> {
+    let mut out = vec![0u8; (values.len() * bits).div_ceil(8)];
+    let mut bitpos = 0usize;
+    for &v in values {
+        for b in 0..bits {
+            if (v >> b) & 1 == 1 {
+                out[(bitpos + b) / 8] |= 1 << ((bitpos + b) % 8);
+            }
+        }
+        bitpos += bits;
+    }
+    out
+}
+
+/// Unpacks `count` values of `bits` bits each from a byte stream.
+pub fn unpack_bits(bytes: &[u8], bits: usize, count: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(count);
+    let mut bitpos = 0usize;
+    for _ in 0..count {
+        let mut v = 0u64;
+        for b in 0..bits {
+            let p = bitpos + b;
+            if (bytes[p / 8] >> (p % 8)) & 1 == 1 {
+                v |= 1 << b;
+            }
+        }
+        out.push(v);
+        bitpos += bits;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::BatchEncoder;
+    use crate::encryptor::{Decryptor, Encryptor};
+    use crate::keys::KeyGenerator;
+    use crate::params::{EncryptionParams, ParamLevel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn serialization_roundtrip() {
+        let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
+        let mut rng = StdRng::seed_from_u64(11);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let pk = kg.public_key(&mut rng);
+        let encoder = BatchEncoder::new(&ctx);
+        let encryptor = Encryptor::new(&ctx, pk);
+        let decryptor = Decryptor::new(&ctx, kg.secret_key().clone());
+
+        let values: Vec<u64> = (0..100u64).collect();
+        let ct = encryptor.encrypt(&encoder.encode(&values), &mut rng);
+        let bytes = ct.to_bytes();
+        assert_eq!(bytes.len(), ctx.params().ciphertext_bytes());
+        let ct2 = Ciphertext::from_bytes(&ctx, &bytes);
+        let decoded = encoder.decode(&decryptor.decrypt(&ct2));
+        assert_eq!(&decoded[..100], &values[..]);
+    }
+}

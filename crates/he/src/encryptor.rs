@@ -1,0 +1,256 @@
+//! Encryption and decryption.
+//!
+//! Decryption reconstructs each coefficient of `c0 + c1·s` exactly via CRT
+//! big-integer lift and computes `m = ⌈t·c/q⌋ mod t` — slower than RNS
+//! floating-point tricks but bit-exact, which the correctness tests of the
+//! convolution schemes rely on.
+
+use crate::bigint::BigUint;
+use crate::ciphertext::Ciphertext;
+use crate::context::Context;
+use crate::encoding::Plaintext;
+use crate::keys::{sample_error, sample_ternary, sample_uniform, PublicKey, SecretKey};
+use crate::poly::Poly;
+use rand::Rng;
+use std::sync::Arc;
+
+/// Encrypts plaintexts under a public key.
+#[derive(Debug)]
+pub struct Encryptor {
+    ctx: Arc<Context>,
+    pk: PublicKey,
+}
+
+impl Encryptor {
+    /// Creates an encryptor.
+    pub fn new(ctx: &Arc<Context>, pk: PublicKey) -> Self {
+        Self {
+            ctx: Arc::clone(ctx),
+            pk,
+        }
+    }
+
+    /// Encrypts a plaintext: `(b·u + e0 + Δ·m, a·u + e1)`.
+    pub fn encrypt<R: Rng>(&self, pt: &Plaintext, rng: &mut R) -> Ciphertext {
+        let ctx = &self.ctx;
+        let mut u = sample_ternary(ctx, rng);
+        u.to_ntt();
+        let mut e0 = sample_error(ctx, rng);
+        e0.to_ntt();
+        let mut e1 = sample_error(ctx, rng);
+        e1.to_ntt();
+
+        let dm = pt.lift_scaled(ctx);
+
+        let mut c0 = self.pk.b.clone();
+        c0.mul_assign_ntt(&u);
+        c0.add_assign(&e0);
+        c0.add_assign(&dm);
+
+        let mut c1 = self.pk.a.clone();
+        c1.mul_assign_ntt(&u);
+        c1.add_assign(&e1);
+
+        Ciphertext { c0, c1 }
+    }
+
+    /// Encrypts the all-zero plaintext (used by the server to produce
+    /// masking ciphertexts).
+    pub fn encrypt_zero<R: Rng>(&self, rng: &mut R) -> Ciphertext {
+        let zero = Plaintext::from_coeffs(vec![0u64; self.ctx.degree()]);
+        self.encrypt(&zero, rng)
+    }
+}
+
+/// Encrypts plaintexts under the secret key (smaller client-side state;
+/// the ciphertext is the same shape).
+#[derive(Debug)]
+pub struct SymmetricEncryptor {
+    ctx: Arc<Context>,
+    sk: SecretKey,
+}
+
+impl SymmetricEncryptor {
+    /// Creates a symmetric encryptor.
+    pub fn new(ctx: &Arc<Context>, sk: SecretKey) -> Self {
+        Self {
+            ctx: Arc::clone(ctx),
+            sk,
+        }
+    }
+
+    /// Encrypts: sample uniform `a`, output `(-(a·s) + e + Δ·m, a)`.
+    pub fn encrypt<R: Rng>(&self, pt: &Plaintext, rng: &mut R) -> Ciphertext {
+        let ctx = &self.ctx;
+        let a = sample_uniform(ctx, rng);
+        let mut e = sample_error(ctx, rng);
+        e.to_ntt();
+        let dm = pt.lift_scaled(ctx);
+        let mut c0 = a.clone();
+        c0.mul_assign_ntt(&self.sk.s);
+        c0.neg_assign();
+        c0.add_assign(&e);
+        c0.add_assign(&dm);
+        Ciphertext { c0, c1: a }
+    }
+}
+
+/// Decrypts ciphertexts with the secret key and reports noise budgets.
+#[derive(Debug)]
+pub struct Decryptor {
+    ctx: Arc<Context>,
+    sk: SecretKey,
+}
+
+impl Decryptor {
+    /// Creates a decryptor.
+    pub fn new(ctx: &Arc<Context>, sk: SecretKey) -> Self {
+        Self {
+            ctx: Arc::clone(ctx),
+            sk,
+        }
+    }
+
+    /// Computes `c0 + c1·s` in coefficient form.
+    fn phase(&self, ct: &Ciphertext) -> Poly {
+        let mut acc = ct.c1.clone();
+        acc.mul_assign_ntt(&self.sk.s);
+        acc.add_assign(&ct.c0);
+        acc.to_coeff();
+        acc
+    }
+
+    /// Decrypts a ciphertext.
+    pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+        let ctx = &self.ctx;
+        let n = ctx.degree();
+        let k = ctx.moduli_count();
+        let t = ctx.params().plain_modulus();
+        let phase = self.phase(ct);
+        let q = ctx.q_big();
+        let mut coeffs = vec![0u64; n];
+        let mut residues = vec![0u64; k];
+        for j in 0..n {
+            for i in 0..k {
+                residues[i] = phase.residues(i)[j];
+            }
+            let (mag, neg) = ctx.crt_lift_centered(&residues);
+            // m = round(t * mag / q) with sign
+            let num = mag.mul_u64(t).add(ctx.q_half());
+            let (m, _) = num.div_rem(q);
+            let m = m.rem_u64(t);
+            coeffs[j] = if neg && m != 0 { t - m } else { m };
+        }
+        Plaintext::from_coeffs(coeffs)
+    }
+
+    /// The invariant noise budget in bits, SEAL-style: the number of bits
+    /// of headroom before noise would corrupt decryption. Returns 0 when
+    /// the ciphertext is no longer decryptable.
+    pub fn noise_budget(&self, ct: &Ciphertext) -> u32 {
+        let ctx = &self.ctx;
+        let n = ctx.degree();
+        let k = ctx.moduli_count();
+        let t = ctx.params().plain_modulus();
+        let phase = self.phase(ct);
+        let q = ctx.q_big();
+        // noise = centered(t * phase mod q); budget = log2(q / (2*max|noise|)).
+        let mut max_noise = BigUint::zero();
+        let mut residues = vec![0u64; k];
+        for j in 0..n {
+            for i in 0..k {
+                residues[i] = phase.residues(i)[j];
+            }
+            let (mag, _) = ctx.crt_lift_centered(&residues);
+            let scaled = mag.mul_u64(t);
+            let (_, mut r) = scaled.div_rem(q);
+            // center r in (-q/2, q/2]
+            if &r > ctx.q_half() {
+                r = q.sub(&r);
+            }
+            if r > max_noise {
+                max_noise = r;
+            }
+        }
+        if max_noise.is_zero() {
+            return q.bits();
+        }
+        let noise_bits = max_noise.bits();
+        q.bits().saturating_sub(noise_bits + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::BatchEncoder;
+    use crate::keys::KeyGenerator;
+    use crate::params::{EncryptionParams, ParamLevel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(level: ParamLevel) -> (Arc<Context>, KeyGenerator, StdRng) {
+        let ctx = Context::new(EncryptionParams::new(level));
+        let mut rng = StdRng::seed_from_u64(42);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        (ctx, kg, rng)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_all_levels() {
+        for level in [ParamLevel::N2048, ParamLevel::N4096] {
+            let (ctx, kg, mut rng) = setup(level);
+            let pk = kg.public_key(&mut rng);
+            let encoder = BatchEncoder::new(&ctx);
+            let encryptor = Encryptor::new(&ctx, pk);
+            let decryptor = Decryptor::new(&ctx, kg.secret_key().clone());
+            let t = ctx.params().plain_modulus();
+            let values: Vec<u64> = (0..ctx.degree() as u64).map(|i| (i * 997) % t).collect();
+            let ct = encryptor.encrypt(&encoder.encode(&values), &mut rng);
+            let decoded = encoder.decode(&decryptor.decrypt(&ct));
+            assert_eq!(decoded, values, "level {level}");
+        }
+    }
+
+    #[test]
+    fn symmetric_encrypt_decrypt() {
+        let (ctx, kg, mut rng) = setup(ParamLevel::N4096);
+        let encoder = BatchEncoder::new(&ctx);
+        let enc = SymmetricEncryptor::new(&ctx, kg.secret_key().clone());
+        let dec = Decryptor::new(&ctx, kg.secret_key().clone());
+        let values: Vec<u64> = (0..50u64).map(|i| i * i).collect();
+        let ct = enc.encrypt(&encoder.encode(&values), &mut rng);
+        let decoded = encoder.decode(&dec.decrypt(&ct));
+        assert_eq!(&decoded[..50], &values[..]);
+    }
+
+    #[test]
+    fn fresh_noise_budget_is_large() {
+        let (ctx, kg, mut rng) = setup(ParamLevel::N4096);
+        let pk = kg.public_key(&mut rng);
+        let encoder = BatchEncoder::new(&ctx);
+        let encryptor = Encryptor::new(&ctx, pk);
+        let decryptor = Decryptor::new(&ctx, kg.secret_key().clone());
+        let ct = encryptor.encrypt(&encoder.encode(&[1, 2, 3]), &mut rng);
+        let budget = decryptor.noise_budget(&ct);
+        // 109-bit q, 20-bit t: expect roughly 50-80 bits fresh budget.
+        assert!(budget > 40, "budget {budget} too small");
+        assert!(budget < ctx.q_big().bits());
+        let _ = ctx;
+    }
+
+    #[test]
+    fn wrong_key_fails_to_decrypt() {
+        let (ctx, kg, mut rng) = setup(ParamLevel::N4096);
+        let pk = kg.public_key(&mut rng);
+        let encoder = BatchEncoder::new(&ctx);
+        let encryptor = Encryptor::new(&ctx, pk);
+        let other = KeyGenerator::new(&ctx, &mut rng);
+        let decryptor = Decryptor::new(&ctx, other.secret_key().clone());
+        let values = vec![7u64; 10];
+        let ct = encryptor.encrypt(&encoder.encode(&values), &mut rng);
+        let decoded = encoder.decode(&decryptor.decrypt(&ct));
+        assert_ne!(&decoded[..10], &values[..]);
+        assert_eq!(decryptor.noise_budget(&ct), 0);
+    }
+}

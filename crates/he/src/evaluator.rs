@@ -1,0 +1,359 @@
+//! Homomorphic evaluation: Add, plaintext Mult, and Rot — the three
+//! operations the paper's convolution schemes are built from (Sec. II-B).
+//!
+//! Every operation optionally reports itself to an [`OpSink`] so the
+//! pipeline simulator can replay exact operation traces (see the
+//! `spot-pipeline` crate).
+
+use crate::ciphertext::Ciphertext;
+use crate::context::Context;
+use crate::encoding::{galois_elt_column_swap, galois_elt_from_step, Plaintext};
+use crate::keys::{GaloisKeys, KeySwitchKey};
+use crate::poly::{Poly, PolyForm};
+use std::sync::Arc;
+
+/// The HE operation kinds a scheme performs, for cost accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeOp {
+    /// Client-side encryption of one ciphertext.
+    Encrypt,
+    /// Client-side decryption of one ciphertext.
+    Decrypt,
+    /// Ciphertext–ciphertext or ciphertext–plaintext addition.
+    Add,
+    /// Ciphertext–plaintext SIMD multiplication.
+    MultPlain,
+    /// Slot rotation (Galois automorphism + key switch).
+    Rotate,
+}
+
+/// A sink receiving a callback per executed HE operation.
+pub trait OpSink {
+    /// Called once per HE operation.
+    fn record(&mut self, op: HeOp);
+}
+
+/// An [`OpSink`] that simply counts operations by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Number of additions.
+    pub add: u64,
+    /// Number of plaintext multiplications.
+    pub mult_plain: u64,
+    /// Number of rotations.
+    pub rotate: u64,
+    /// Number of encryptions.
+    pub encrypt: u64,
+    /// Number of decryptions.
+    pub decrypt: u64,
+}
+
+impl OpSink for OpCounts {
+    fn record(&mut self, op: HeOp) {
+        match op {
+            HeOp::Add => self.add += 1,
+            HeOp::MultPlain => self.mult_plain += 1,
+            HeOp::Rotate => self.rotate += 1,
+            HeOp::Encrypt => self.encrypt += 1,
+            HeOp::Decrypt => self.decrypt += 1,
+        }
+    }
+}
+
+impl OpSink for () {
+    fn record(&mut self, _op: HeOp) {}
+}
+
+/// Evaluates homomorphic operations on ciphertexts.
+#[derive(Debug)]
+pub struct Evaluator {
+    ctx: Arc<Context>,
+}
+
+impl Evaluator {
+    /// Creates an evaluator for a context.
+    pub fn new(ctx: &Arc<Context>) -> Self {
+        Self { ctx: Arc::clone(ctx) }
+    }
+
+    /// `a + b`.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let mut out = a.clone();
+        self.add_inplace(&mut out, b);
+        out
+    }
+
+    /// `a += b`.
+    pub fn add_inplace(&self, a: &mut Ciphertext, b: &Ciphertext) {
+        a.c0.add_assign(&b.c0);
+        a.c1.add_assign(&b.c1);
+    }
+
+    /// `a - b`.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        let mut out = a.clone();
+        out.c0.sub_assign(&b.c0);
+        out.c1.sub_assign(&b.c1);
+        out
+    }
+
+    /// Adds an encoded plaintext to a ciphertext (`ct + Δ·m`).
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let dm = pt.lift_scaled(&self.ctx);
+        let mut out = a.clone();
+        out.c0.add_assign(&dm);
+        out
+    }
+
+    /// Subtracts an encoded plaintext from a ciphertext.
+    pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let mut dm = pt.lift_scaled(&self.ctx);
+        dm.neg_assign();
+        let mut out = a.clone();
+        out.c0.add_assign(&dm);
+        out
+    }
+
+    /// Multiplies a ciphertext by an encoded plaintext (SIMD slot-wise).
+    ///
+    /// For repeated use of the same plaintext, pre-lift it with
+    /// [`Plaintext::lift`] and call [`Evaluator::multiply_lifted`].
+    pub fn multiply_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let lifted = pt.lift(&self.ctx);
+        self.multiply_lifted(a, &lifted)
+    }
+
+    /// Multiplies by a pre-lifted (NTT-form) plaintext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lifted plaintext is not in NTT form.
+    pub fn multiply_lifted(&self, a: &Ciphertext, lifted: &Poly) -> Ciphertext {
+        assert_eq!(lifted.form(), PolyForm::Ntt, "plaintext must be lifted");
+        let mut out = a.clone();
+        out.c0.mul_assign_ntt(lifted);
+        out.c1.mul_assign_ntt(lifted);
+        out
+    }
+
+    /// Key-switches `(c0, c1_auto)` where `c1_auto` decrypts under `s'`
+    /// back to the canonical secret key, using RNS digit decomposition.
+    fn key_switch(&self, c0: Poly, mut c1: Poly, ksk: &KeySwitchKey) -> Ciphertext {
+        let ctx = &self.ctx;
+        let n = ctx.degree();
+        let k = ctx.moduli_count();
+        c1.to_coeff();
+        let mut acc0 = c0;
+        acc0.to_ntt();
+        let mut acc1 = Poly::zero(ctx, PolyForm::Ntt);
+        for i in 0..k {
+            // Digit i: residues of c1 mod q_i, lifted to every modulus.
+            let digit_src: Vec<u64> = c1.residues(i).to_vec();
+            let mut data = vec![0u64; k * n];
+            for (j, m) in ctx.moduli().iter().enumerate() {
+                for (jj, &v) in digit_src.iter().enumerate() {
+                    data[j * n + jj] = m.reduce(v);
+                }
+            }
+            let mut digit = Poly::from_residues(ctx, data, PolyForm::Coeff);
+            digit.to_ntt();
+            let (b_i, a_i) = &ksk.pairs[i];
+            let mut t0 = digit.clone();
+            t0.mul_assign_ntt(b_i);
+            acc0.add_assign(&t0);
+            let mut t1 = digit;
+            t1.mul_assign_ntt(a_i);
+            acc1.add_assign(&t1);
+        }
+        Ciphertext { c0: acc0, c1: acc1 }
+    }
+
+    /// Applies the Galois automorphism `X → X^g` to a ciphertext and
+    /// key-switches back to the canonical key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no Galois key for `g` is present.
+    pub fn apply_galois(&self, a: &Ciphertext, g: usize, keys: &GaloisKeys) -> Ciphertext {
+        let ksk = keys
+            .keys
+            .get(&g)
+            .unwrap_or_else(|| panic!("missing Galois key for element {g}"));
+        let mut c0 = a.c0.clone();
+        c0.to_coeff();
+        let c0g = c0.apply_galois(g);
+        let mut c1 = a.c1.clone();
+        c1.to_coeff();
+        let c1g = c1.apply_galois(g);
+        self.key_switch(c0g, c1g, ksk)
+    }
+
+    /// Rotates both slot rows left by `steps` (negative = right).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps == 0`, `|steps| >= N/2`, or the key is missing.
+    pub fn rotate_rows(&self, a: &Ciphertext, steps: i64, keys: &GaloisKeys) -> Ciphertext {
+        let g = galois_elt_from_step(steps, self.ctx.degree());
+        self.apply_galois(a, g, keys)
+    }
+
+    /// Swaps the two slot rows.
+    pub fn rotate_columns(&self, a: &Ciphertext, keys: &GaloisKeys) -> Ciphertext {
+        let g = galois_elt_column_swap(self.ctx.degree());
+        self.apply_galois(a, g, keys)
+    }
+
+    /// The Galois elements needed to support `rotate_rows` for each step
+    /// in `steps` plus (optionally) the column swap.
+    pub fn galois_elements(&self, steps: &[i64], include_column_swap: bool) -> Vec<usize> {
+        let n = self.ctx.degree();
+        let mut elts: Vec<usize> = steps
+            .iter()
+            .filter(|&&s| s != 0)
+            .map(|&s| galois_elt_from_step(s, n))
+            .collect();
+        if include_column_swap {
+            elts.push(galois_elt_column_swap(n));
+        }
+        elts.sort_unstable();
+        elts.dedup();
+        elts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::{rotate_slots_reference, swap_rows_reference, BatchEncoder};
+    use crate::encryptor::{Decryptor, Encryptor};
+    use crate::keys::KeyGenerator;
+    use crate::params::{EncryptionParams, ParamLevel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Setup {
+        ctx: Arc<Context>,
+        encoder: BatchEncoder,
+        encryptor: Encryptor,
+        decryptor: Decryptor,
+        evaluator: Evaluator,
+        kg: KeyGenerator,
+        rng: StdRng,
+    }
+
+    fn setup() -> Setup {
+        let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
+        let mut rng = StdRng::seed_from_u64(7);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let pk = kg.public_key(&mut rng);
+        Setup {
+            encoder: BatchEncoder::new(&ctx),
+            encryptor: Encryptor::new(&ctx, pk),
+            decryptor: Decryptor::new(&ctx, kg.secret_key().clone()),
+            evaluator: Evaluator::new(&ctx),
+            kg,
+            rng,
+            ctx,
+        }
+    }
+
+    #[test]
+    fn add_is_slotwise() {
+        let mut s = setup();
+        let t = s.ctx.params().plain_modulus();
+        let a: Vec<u64> = (0..256u64).map(|i| i * 3).collect();
+        let b: Vec<u64> = (0..256u64).map(|i| t - 1 - i).collect();
+        let ca = s.encryptor.encrypt(&s.encoder.encode(&a), &mut s.rng);
+        let cb = s.encryptor.encrypt(&s.encoder.encode(&b), &mut s.rng);
+        let sum = s.evaluator.add(&ca, &cb);
+        let out = s.encoder.decode(&s.decryptor.decrypt(&sum));
+        for i in 0..256 {
+            assert_eq!(out[i], (a[i] + b[i]) % t);
+        }
+    }
+
+    #[test]
+    fn multiply_plain_is_slotwise() {
+        let mut s = setup();
+        let t = s.ctx.params().plain_modulus();
+        let a: Vec<u64> = (0..128u64).map(|i| i + 1).collect();
+        let b: Vec<u64> = (0..128u64).map(|i| 2 * i + 5).collect();
+        let ca = s.encryptor.encrypt(&s.encoder.encode(&a), &mut s.rng);
+        let prod = s.evaluator.multiply_plain(&ca, &s.encoder.encode(&b));
+        let budget = s.decryptor.noise_budget(&prod);
+        assert!(budget > 10, "noise budget exhausted: {budget}");
+        let out = s.encoder.decode(&s.decryptor.decrypt(&prod));
+        for i in 0..128 {
+            assert_eq!(out[i], (a[i] * b[i]) % t, "slot {i}");
+        }
+        // slots where b is zero (beyond 128) must be zero
+        assert!(out[128..].iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn rotation_matches_reference() {
+        let mut s = setup();
+        let n = s.ctx.degree();
+        let values: Vec<u64> = (0..n as u64).map(|i| i % 1000).collect();
+        let ct = s.encryptor.encrypt(&s.encoder.encode(&values), &mut s.rng);
+        let steps_list = [1i64, 7, -2];
+        let elts = s.evaluator.galois_elements(&steps_list, true);
+        let gk = s.kg.galois_keys(&elts, &mut s.rng);
+        for steps in steps_list {
+            let rot = s.evaluator.rotate_rows(&ct, steps, &gk);
+            assert!(s.decryptor.noise_budget(&rot) > 10);
+            let out = s.encoder.decode(&s.decryptor.decrypt(&rot));
+            assert_eq!(out, rotate_slots_reference(&values, steps), "step {steps}");
+        }
+        let swapped = s.evaluator.rotate_columns(&ct, &gk);
+        let out = s.encoder.decode(&s.decryptor.decrypt(&swapped));
+        assert_eq!(out, swap_rows_reference(&values));
+    }
+
+    #[test]
+    fn mult_then_rotate_then_add_chain() {
+        // The exact shape of a GAZELLE-style convolution step.
+        let mut s = setup();
+        let t = s.ctx.params().plain_modulus();
+        let values: Vec<u64> = (0..64u64).map(|i| i + 1).collect();
+        let weights: Vec<u64> = vec![3u64; 64];
+        let ct = s.encryptor.encrypt(&s.encoder.encode(&values), &mut s.rng);
+        let elts = s.evaluator.galois_elements(&[1], false);
+        let gk = s.kg.galois_keys(&elts, &mut s.rng);
+        let prod = s.evaluator.multiply_plain(&ct, &s.encoder.encode(&weights));
+        let rot = s.evaluator.rotate_rows(&prod, 1, &gk);
+        let sum = s.evaluator.add(&prod, &rot);
+        assert!(s.decryptor.noise_budget(&sum) > 10);
+        let out = s.encoder.decode(&s.decryptor.decrypt(&sum));
+        for i in 0..63 {
+            assert_eq!(out[i], (3 * values[i] + 3 * values[i + 1]) % t);
+        }
+    }
+
+    #[test]
+    fn sub_plain_masks_share() {
+        // Server-side additive masking: ct - r, client decrypts m - r.
+        let mut s = setup();
+        let t = s.ctx.params().plain_modulus();
+        let values = vec![100u64; 16];
+        let mask = vec![30u64; 16];
+        let ct = s.encryptor.encrypt(&s.encoder.encode(&values), &mut s.rng);
+        let masked = s.evaluator.sub_plain(&ct, &s.encoder.encode(&mask));
+        let out = s.encoder.decode(&s.decryptor.decrypt(&masked));
+        for i in 0..16 {
+            assert_eq!((out[i] + mask[i]) % t, values[i]);
+        }
+    }
+
+    #[test]
+    fn op_counts_sink() {
+        let mut counts = OpCounts::default();
+        counts.record(HeOp::Add);
+        counts.record(HeOp::Rotate);
+        counts.record(HeOp::Rotate);
+        assert_eq!(counts.add, 1);
+        assert_eq!(counts.rotate, 2);
+        assert_eq!(counts.mult_plain, 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Key material: secret key, public key, and Galois (rotation) keys.
+//!
+//! The secret key is a uniform ternary polynomial. Galois keys are
+//! RNS-decomposition key-switching keys (one digit per coefficient prime,
+//! GHS style): digit `i` encrypts `g_i · s(X^g)` under `s`, where
+//! `g_i = (q/q_i)·[(q/q_i)^{-1}]_{q_i}` is the CRT gadget.
+
+use crate::context::Context;
+use crate::poly::{Poly, PolyForm};
+use rand::Rng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Samples a uniform ternary polynomial (coefficients in `{-1, 0, 1}`),
+/// coefficient form.
+pub(crate) fn sample_ternary<R: Rng>(ctx: &Arc<Context>, rng: &mut R) -> Poly {
+    let n = ctx.degree();
+    let coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range(-1i64..=1)).collect();
+    Poly::from_signed_coeffs(ctx, &coeffs)
+}
+
+/// Samples a centered-binomial error polynomial (η = 8, σ = 2),
+/// coefficient form.
+pub(crate) fn sample_error<R: Rng>(ctx: &Arc<Context>, rng: &mut R) -> Poly {
+    let n = ctx.degree();
+    let coeffs: Vec<i64> = (0..n)
+        .map(|_| {
+            let bits: u16 = rng.gen();
+            let a = (bits & 0xFF).count_ones() as i64;
+            let b = (bits >> 8).count_ones() as i64;
+            a - b
+        })
+        .collect();
+    Poly::from_signed_coeffs(ctx, &coeffs)
+}
+
+/// Samples a uniform polynomial over the full RNS space, NTT form.
+pub(crate) fn sample_uniform<R: Rng>(ctx: &Arc<Context>, rng: &mut R) -> Poly {
+    let n = ctx.degree();
+    let k = ctx.moduli_count();
+    let mut data = vec![0u64; k * n];
+    for (i, m) in ctx.moduli().iter().enumerate() {
+        for j in 0..n {
+            data[i * n + j] = rng.gen_range(0..m.value());
+        }
+    }
+    Poly::from_residues(ctx, data, PolyForm::Ntt)
+}
+
+/// The secret key (ternary polynomial, stored in NTT form).
+#[derive(Debug, Clone)]
+pub struct SecretKey {
+    pub(crate) s: Poly,
+    /// Coefficient-form copy, needed to derive automorphed keys.
+    pub(crate) s_coeff: Poly,
+}
+
+/// The public key `(b, a)` with `b = -(a·s + e)`, stored in NTT form.
+#[derive(Debug, Clone)]
+pub struct PublicKey {
+    pub(crate) b: Poly,
+    pub(crate) a: Poly,
+}
+
+/// One key-switching key: for each RNS digit `i`, a pair `(b_i, a_i)` with
+/// `b_i = -(a_i·s + e_i) + g_i·s'`, all in NTT form.
+#[derive(Debug, Clone)]
+pub struct KeySwitchKey {
+    pub(crate) pairs: Vec<(Poly, Poly)>,
+}
+
+/// Galois keys: a key-switching key per Galois element.
+#[derive(Debug, Clone, Default)]
+pub struct GaloisKeys {
+    pub(crate) keys: HashMap<usize, KeySwitchKey>,
+}
+
+impl GaloisKeys {
+    /// The Galois elements keys exist for.
+    pub fn elements(&self) -> impl Iterator<Item = usize> + '_ {
+        self.keys.keys().copied()
+    }
+
+    /// Whether a key exists for `galois_elt`.
+    pub fn contains(&self, galois_elt: usize) -> bool {
+        self.keys.contains_key(&galois_elt)
+    }
+
+    /// Number of keys held.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether no keys are held.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+}
+
+/// Generates secret/public/Galois keys for a context.
+#[derive(Debug)]
+pub struct KeyGenerator {
+    ctx: Arc<Context>,
+    sk: SecretKey,
+}
+
+impl KeyGenerator {
+    /// Generates a fresh secret key.
+    pub fn new<R: Rng>(ctx: &Arc<Context>, rng: &mut R) -> Self {
+        let s_coeff = sample_ternary(ctx, rng);
+        let mut s = s_coeff.clone();
+        s.to_ntt();
+        Self {
+            ctx: Arc::clone(ctx),
+            sk: SecretKey { s, s_coeff },
+        }
+    }
+
+    /// The secret key.
+    pub fn secret_key(&self) -> &SecretKey {
+        &self.sk
+    }
+
+    /// Re-embeds this generator's (ternary) secret polynomial into
+    /// another context — used after modulus switching, where the same
+    /// secret must decrypt under a reduced coefficient modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target degree differs.
+    pub fn secret_key_for(&self, target: &Arc<Context>) -> SecretKey {
+        assert_eq!(target.degree(), self.ctx.degree(), "degree mismatch");
+        // recover signed ternary coefficients from the first modulus
+        let m0 = self.ctx.moduli()[0];
+        let signed: Vec<i64> = self
+            .sk
+            .s_coeff
+            .residues(0)
+            .iter()
+            .map(|&r| {
+                if r == 0 {
+                    0
+                } else if r == 1 {
+                    1
+                } else {
+                    debug_assert_eq!(r, m0.value() - 1);
+                    -1
+                }
+            })
+            .collect();
+        let s_coeff = Poly::from_signed_coeffs(target, &signed);
+        let mut s = s_coeff.clone();
+        s.to_ntt();
+        SecretKey { s, s_coeff }
+    }
+
+    /// Generates the public key.
+    pub fn public_key<R: Rng>(&self, rng: &mut R) -> PublicKey {
+        let a = sample_uniform(&self.ctx, rng);
+        let mut e = sample_error(&self.ctx, rng);
+        e.to_ntt();
+        // b = -(a*s + e)
+        let mut b = a.clone();
+        b.mul_assign_ntt(&self.sk.s);
+        b.add_assign(&e);
+        b.neg_assign();
+        PublicKey { b, a }
+    }
+
+    /// Generates a key-switching key from `s_prime` (NTT form) to the
+    /// generator's secret key.
+    fn key_switch_key<R: Rng>(&self, s_prime: &Poly, rng: &mut R) -> KeySwitchKey {
+        let k = self.ctx.moduli_count();
+        let mut pairs = Vec::with_capacity(k);
+        for i in 0..k {
+            let a_i = sample_uniform(&self.ctx, rng);
+            let mut e_i = sample_error(&self.ctx, rng);
+            e_i.to_ntt();
+            // b_i = -(a_i*s + e_i) + g_i * s'
+            let mut b_i = a_i.clone();
+            b_i.mul_assign_ntt(&self.sk.s);
+            b_i.add_assign(&e_i);
+            b_i.neg_assign();
+            let mut gs = s_prime.clone();
+            gs.mul_scalar_per_modulus(&self.ctx.gadget()[i]);
+            b_i.add_assign(&gs);
+            pairs.push((b_i, a_i));
+        }
+        KeySwitchKey { pairs }
+    }
+
+    /// Generates Galois keys for the given Galois elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter level does not support rotation (fewer than
+    /// two RNS primes leave no room for key-switching noise).
+    pub fn galois_keys<R: Rng>(&self, elements: &[usize], rng: &mut R) -> GaloisKeys {
+        assert!(
+            self.ctx.params().level().supports_rotation(),
+            "parameter level {} does not support rotations",
+            self.ctx.params().level()
+        );
+        let mut keys = HashMap::new();
+        for &g in elements {
+            // s' = s(X^g)
+            let mut s_auto = self.sk.s_coeff.apply_galois(g);
+            s_auto.to_ntt();
+            keys.insert(g, self.key_switch_key(&s_auto, rng));
+        }
+        GaloisKeys { keys }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{EncryptionParams, ParamLevel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn public_key_relation_holds() {
+        // b + a*s should equal -e (small).
+        let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
+        let mut rng = StdRng::seed_from_u64(1);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let pk = kg.public_key(&mut rng);
+        let mut check = pk.a.clone();
+        check.mul_assign_ntt(&kg.secret_key().s);
+        check.add_assign(&pk.b);
+        check.to_coeff();
+        // every coefficient small when centered
+        for j in 0..ctx.degree() {
+            let residues: Vec<u64> = (0..ctx.moduli_count()).map(|i| check.residues(i)[j]).collect();
+            let (mag, _) = ctx.crt_lift_centered(&residues);
+            assert!(mag.bits() <= 6, "error coefficient too large: {mag}");
+        }
+    }
+
+    #[test]
+    fn ternary_and_error_distributions_bounded() {
+        let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = sample_ternary(&ctx, &mut rng);
+        let m0 = ctx.moduli()[0];
+        for &c in t.residues(0) {
+            assert!(c == 0 || c == 1 || c == m0.value() - 1);
+        }
+        let e = sample_error(&ctx, &mut rng);
+        for &c in e.residues(0) {
+            let centered = if c > m0.value() / 2 {
+                m0.value() - c
+            } else {
+                c
+            };
+            assert!(centered <= 8, "CBD sample out of range");
+        }
+    }
+
+    #[test]
+    fn galois_keys_for_requested_elements() {
+        let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
+        let mut rng = StdRng::seed_from_u64(3);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let gk = kg.galois_keys(&[3, 9, 8191], &mut rng);
+        assert_eq!(gk.len(), 3);
+        assert!(gk.contains(3) && gk.contains(9) && gk.contains(8191));
+        assert!(!gk.contains(27));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rotation_keys_rejected_at_n2048() {
+        let ctx = Context::new(EncryptionParams::new(ParamLevel::N2048));
+        let mut rng = StdRng::seed_from_u64(4);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let _ = kg.galois_keys(&[3], &mut rng);
+    }
+}

@@ -1,0 +1,185 @@
+//! Modulus switching: rescaling a ciphertext from `q = q_0…q_k` down to
+//! `q' = q_0…q_{k-1}` by dividing (with rounding) by the last prime.
+//!
+//! Switching before transmission shrinks serialized ciphertexts by one
+//! RNS component per switch at the cost of a small additive noise term —
+//! this is how SEAL-style systems reach the compact sizes the paper's
+//! Table IV reports for `D = 16384`. The operation is exact in RNS:
+//!
+//! ```text
+//! c'_j = (c_j − [c]_{q_k} mod q_j) · q_k^{-1}  (mod q_j)
+//! ```
+//!
+//! with `[c]_{q_k}` centered to keep the rounding error at most 1/2.
+
+use crate::ciphertext::Ciphertext;
+use crate::context::Context;
+use crate::params::EncryptionParams;
+use crate::poly::{Poly, PolyForm};
+use std::sync::Arc;
+
+/// A context pair for modulus switching: the source context and the
+/// derived context with the last coefficient prime removed.
+#[derive(Debug)]
+pub struct ModSwitch {
+    src: Arc<Context>,
+    dst: Arc<Context>,
+    /// `q_k^{-1} mod q_j` for each remaining modulus `j`.
+    qk_inv: Vec<u64>,
+}
+
+impl ModSwitch {
+    /// Builds the switcher; the destination context drops the source's
+    /// last coefficient modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source has fewer than two coefficient moduli.
+    pub fn new(src: &Arc<Context>) -> Self {
+        let k = src.moduli_count();
+        assert!(k >= 2, "modulus switching needs at least two RNS primes");
+        let params = src.params();
+        let kept: Vec<u64> = params.coeff_moduli()[..k - 1].to_vec();
+        let dst = Context::new(EncryptionParams::with_explicit_moduli(
+            params.level(),
+            kept,
+            params.plain_modulus(),
+        ));
+        let qk = src.moduli()[k - 1].value();
+        let qk_inv = dst
+            .moduli()
+            .iter()
+            .map(|m| m.inv(qk % m.value()).expect("moduli coprime"))
+            .collect();
+        Self {
+            src: Arc::clone(src),
+            dst,
+            qk_inv,
+        }
+    }
+
+    /// The destination (smaller-modulus) context.
+    pub fn target_context(&self) -> &Arc<Context> {
+        &self.dst
+    }
+
+    fn switch_poly(&self, p: &Poly) -> Poly {
+        let mut p = p.clone();
+        p.to_coeff();
+        let n = self.src.degree();
+        let k = self.src.moduli_count();
+        let qk = self.src.moduli()[k - 1];
+        let half = qk.value() / 2;
+        let mut data = vec![0u64; (k - 1) * n];
+        for j in 0..k - 1 {
+            let mj = &self.dst.moduli()[j];
+            let last = p.residues(k - 1);
+            let cur = p.residues(j);
+            for i in 0..n {
+                // centered representative of c mod q_k
+                let r = last[i];
+                let (r_mod, negative) = if r > half {
+                    (qk.value() - r, true)
+                } else {
+                    (r, false)
+                };
+                let r_j = mj.reduce(r_mod);
+                let adjusted = if negative {
+                    mj.add(cur[i], r_j)
+                } else {
+                    mj.sub(cur[i], r_j)
+                };
+                data[j * n + i] = mj.mul(adjusted, self.qk_inv[j]);
+            }
+        }
+        Poly::from_residues(&self.dst, data, PolyForm::Coeff)
+    }
+
+    /// Switches a ciphertext down by one modulus. The result lives in
+    /// [`ModSwitch::target_context`] and decrypts under a secret key
+    /// generated from the same seed/polynomial in that context.
+    pub fn switch(&self, ct: &Ciphertext) -> Ciphertext {
+        let mut c0 = self.switch_poly(ct.c0());
+        let mut c1 = self.switch_poly(ct.c1());
+        c0.to_ntt();
+        c1.to_ntt();
+        Ciphertext::from_parts(c0, c1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::BatchEncoder;
+    use crate::encryptor::{Decryptor, Encryptor};
+    use crate::keys::KeyGenerator;
+    use crate::params::ParamLevel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn switched_ciphertext_still_decrypts() {
+        let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
+        let mut rng = StdRng::seed_from_u64(9);
+        let keygen = KeyGenerator::new(&ctx, &mut rng);
+        let encoder = BatchEncoder::new(&ctx);
+        let encryptor = Encryptor::new(&ctx, keygen.public_key(&mut rng));
+
+        let values: Vec<u64> = (0..512u64).collect();
+        let ct = encryptor.encrypt(&encoder.encode(&values), &mut rng);
+
+        let switcher = ModSwitch::new(&ctx);
+        let small = switcher.switch(&ct);
+
+        // decrypt under the same secret polynomial in the small context
+        let dst = switcher.target_context();
+        let sk_small = keygen.secret_key_for(dst);
+        let decryptor = Decryptor::new(dst, sk_small);
+        let small_encoder = BatchEncoder::new(dst);
+        let out = small_encoder.decode(&decryptor.decrypt(&small));
+        assert_eq!(&out[..512], &values[..]);
+    }
+
+    #[test]
+    fn switching_shrinks_serialization() {
+        let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
+        let switcher = ModSwitch::new(&ctx);
+        let big = ctx.params().ciphertext_bytes();
+        let small = switcher.target_context().params().ciphertext_bytes();
+        assert!(small < big * 3 / 4, "{small} !< 0.75 * {big}");
+    }
+
+    #[test]
+    fn switch_preserves_homomorphic_results() {
+        // mask-and-send after a multiply: switch the final ciphertext,
+        // the client still recovers the right product.
+        let ctx = Context::new(EncryptionParams::new(ParamLevel::N8192));
+        let mut rng = StdRng::seed_from_u64(10);
+        let keygen = KeyGenerator::new(&ctx, &mut rng);
+        let encoder = BatchEncoder::new(&ctx);
+        let encryptor = Encryptor::new(&ctx, keygen.public_key(&mut rng));
+        let evaluator = crate::evaluator::Evaluator::new(&ctx);
+
+        let a: Vec<u64> = (1..=64u64).collect();
+        let b: Vec<u64> = (0..64u64).map(|i| 2 * i + 1).collect();
+        let ct = encryptor.encrypt(&encoder.encode(&a), &mut rng);
+        let prod = evaluator.multiply_plain(&ct, &encoder.encode(&b));
+
+        let switcher = ModSwitch::new(&ctx);
+        let small = switcher.switch(&prod);
+        let dst = switcher.target_context();
+        let decryptor = Decryptor::new(dst, keygen.secret_key_for(dst));
+        let out = BatchEncoder::new(dst).decode(&decryptor.decrypt(&small));
+        let t = ctx.params().plain_modulus();
+        for i in 0..64 {
+            assert_eq!(out[i], a[i] * b[i] % t);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_modulus_cannot_switch() {
+        let ctx = Context::new(EncryptionParams::new(ParamLevel::N2048));
+        let _ = ModSwitch::new(&ctx);
+    }
+}

@@ -1,0 +1,224 @@
+//! 64-bit prime modulus arithmetic with Barrett reduction.
+//!
+//! Every coefficient and plaintext modulus in the BFV scheme is a prime
+//! below 2^62. [`Modulus`] precomputes a Barrett constant so that modular
+//! multiplication costs one `u128` widening multiply plus a correction,
+//! and exposes the handful of modular helpers the rest of the crate needs
+//! (exponentiation, inversion, primitive roots).
+
+/// A prime modulus below 2^62 with precomputed Barrett reduction constants.
+///
+/// # Examples
+///
+/// ```
+/// use spot_he::modulus::Modulus;
+/// let m = Modulus::new(65537);
+/// assert_eq!(m.mul(65536, 65536), 1); // (-1)^2 = 1 mod 65537
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    value: u64,
+    /// floor(2^128 / value), stored as (high, low) 64-bit limbs.
+    barrett_hi: u64,
+    barrett_lo: u64,
+}
+
+impl Modulus {
+    /// Creates a new modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is 0, 1, or >= 2^62.
+    pub fn new(value: u64) -> Self {
+        assert!(value > 1, "modulus must be > 1");
+        assert!(value < (1u64 << 62), "modulus must be < 2^62");
+        // Compute floor(2^128 / value) via 128-bit long division in two steps.
+        let hi = (u128::MAX / value as u128) as u64;
+        // remainder of 2^128 - 1 division trick: compute precisely.
+        // 2^128 / v = floor(((2^128 - 1) - (v - 1)) / v) + adjustment; easier:
+        // q = (2^128 - 1) / v; r = (2^128 - 1) % v; if r == v - 1 { q + 1 } else { q }
+        let q = u128::MAX / value as u128;
+        let r = u128::MAX % value as u128;
+        let q = if r == value as u128 - 1 { q + 1 } else { q };
+        let _ = hi;
+        Self {
+            value,
+            barrett_hi: (q >> 64) as u64,
+            barrett_lo: q as u64,
+        }
+    }
+
+    /// The modulus value.
+    #[inline(always)]
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Reduces a 64-bit value (already < 2^62 * anything) modulo the modulus.
+    #[inline(always)]
+    pub fn reduce(&self, x: u64) -> u64 {
+        self.reduce_u128(x as u128)
+    }
+
+    /// Reduces a 128-bit value modulo the modulus using Barrett reduction.
+    #[inline]
+    pub fn reduce_u128(&self, x: u128) -> u64 {
+        // Barrett: q = floor(x * floor(2^128/m) / 2^128), r = x - q*m, then
+        // one conditional subtraction.
+        let xlo = x as u64;
+        let xhi = (x >> 64) as u64;
+        // x * barrett = (xhi*2^64 + xlo) * (bhi*2^64 + blo); we need bits >= 2^128.
+        let lo_lo = (xlo as u128) * (self.barrett_lo as u128);
+        let lo_hi = (xlo as u128) * (self.barrett_hi as u128);
+        let hi_lo = (xhi as u128) * (self.barrett_lo as u128);
+        let hi_hi = (xhi as u128) * (self.barrett_hi as u128);
+        let mid = (lo_lo >> 64) + (lo_hi & 0xFFFF_FFFF_FFFF_FFFF) + (hi_lo & 0xFFFF_FFFF_FFFF_FFFF);
+        let q = hi_hi + (lo_hi >> 64) + (hi_lo >> 64) + (mid >> 64);
+        let r = x.wrapping_sub(q.wrapping_mul(self.value as u128)) as u64;
+        if r >= self.value {
+            r - self.value
+        } else {
+            r
+        }
+    }
+
+    /// Modular addition; inputs must already be reduced.
+    #[inline(always)]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        let s = a + b;
+        if s >= self.value {
+            s - self.value
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction; inputs must already be reduced.
+    #[inline(always)]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        if a >= b {
+            a - b
+        } else {
+            a + self.value - b
+        }
+    }
+
+    /// Modular negation; input must already be reduced.
+    #[inline(always)]
+    pub fn neg(&self, a: u64) -> u64 {
+        if a == 0 {
+            0
+        } else {
+            self.value - a
+        }
+    }
+
+    /// Modular multiplication; inputs must already be reduced.
+    #[inline(always)]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Modular exponentiation by squaring.
+    pub fn pow(&self, mut base: u64, mut exp: u64) -> u64 {
+        base = self.reduce(base);
+        let mut acc = 1u64;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Modular inverse via Fermat's little theorem (modulus must be prime).
+    ///
+    /// Returns `None` if `a == 0 (mod m)`.
+    pub fn inv(&self, a: u64) -> Option<u64> {
+        let a = self.reduce(a);
+        if a == 0 {
+            return None;
+        }
+        Some(self.pow(a, self.value - 2))
+    }
+
+    /// Precomputes a Shoup representation of `operand` for fast repeated
+    /// multiplication by a constant: `floor(operand * 2^64 / m)`.
+    #[inline]
+    pub fn shoup(&self, operand: u64) -> u64 {
+        (((operand as u128) << 64) / self.value as u128) as u64
+    }
+
+    /// Multiplies `x` by a constant `operand` given its Shoup precomputation.
+    ///
+    /// Result is in `[0, 2m)` unless `reduce` is applied; we fully reduce here.
+    #[inline(always)]
+    pub fn mul_shoup(&self, x: u64, operand: u64, operand_shoup: u64) -> u64 {
+        let q = ((x as u128 * operand_shoup as u128) >> 64) as u64;
+        let r = (x.wrapping_mul(operand)).wrapping_sub(q.wrapping_mul(self.value));
+        if r >= self.value {
+            r - self.value
+        } else {
+            r
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrett_matches_naive() {
+        let m = Modulus::new(0x3FFF_FFFF_FFFF_F001 % (1 << 61) | 1);
+        // use a few fixed primes instead
+        for &p in &[65537u64, 1032193, 0x1FFF_FFFF_FFE0_0001 % (1 << 61) | 5] {
+            let m = Modulus::new(p | 1);
+            for i in 0..1000u64 {
+                let a = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let b = i.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+                assert_eq!(
+                    m.reduce_u128(a as u128 * b as u128),
+                    ((a as u128 * b as u128) % m.value() as u128) as u64
+                );
+            }
+        }
+        let _ = m;
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let m = Modulus::new(97);
+        assert_eq!(m.add(96, 5), 4);
+        assert_eq!(m.sub(3, 5), 95);
+        assert_eq!(m.neg(0), 0);
+        assert_eq!(m.neg(1), 96);
+    }
+
+    #[test]
+    fn pow_and_inv() {
+        let m = Modulus::new(65537);
+        assert_eq!(m.pow(3, 65536), 1); // Fermat
+        let inv = m.inv(12345).unwrap();
+        assert_eq!(m.mul(12345, inv), 1);
+        assert_eq!(m.inv(0), None);
+    }
+
+    #[test]
+    fn shoup_matches_mul() {
+        let m = Modulus::new(1032193);
+        let c = 777_777 % m.value();
+        let cs = m.shoup(c);
+        for x in (0..m.value()).step_by(9871) {
+            assert_eq!(m.mul_shoup(x, c, cs), m.mul(x, c));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_tiny_modulus() {
+        let _ = Modulus::new(1);
+    }
+}

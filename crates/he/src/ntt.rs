@@ -1,0 +1,231 @@
+//! Negacyclic number-theoretic transform over `Z_p[X]/(X^N + 1)`.
+//!
+//! Standard Cooley–Tukey / Gentleman–Sande butterflies with the
+//! `psi`-twisted ordering (Longa–Naehrig): the forward transform maps
+//! coefficients to evaluations at odd powers of the primitive `2N`-th root
+//! of unity, so pointwise products correspond to negacyclic convolution.
+//! Twiddles are precomputed with Shoup constants for fast constant
+//! multiplication.
+
+use crate::modulus::Modulus;
+use crate::primes::primitive_root;
+
+/// Precomputed tables for the negacyclic NTT of a fixed degree and prime.
+#[derive(Debug, Clone)]
+pub struct NttTables {
+    modulus: Modulus,
+    degree: usize,
+    /// Powers of psi in bit-reversed order (forward transform).
+    root_powers: Vec<u64>,
+    root_powers_shoup: Vec<u64>,
+    /// Powers of psi^{-1} in bit-reversed order (inverse transform).
+    inv_root_powers: Vec<u64>,
+    inv_root_powers_shoup: Vec<u64>,
+    /// N^{-1} mod p, with Shoup constant.
+    inv_degree: u64,
+    inv_degree_shoup: u64,
+}
+
+fn bit_reverse(x: usize, bits: u32) -> usize {
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+impl NttTables {
+    /// Builds NTT tables for `degree` (a power of two) modulo prime `p`
+    /// with `p ≡ 1 (mod 2*degree)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is not a power of two or the congruence fails.
+    pub fn new(p: u64, degree: usize) -> Self {
+        assert!(degree.is_power_of_two(), "degree must be a power of two");
+        assert_eq!(
+            p % (2 * degree as u64),
+            1,
+            "prime must be 1 mod 2*degree for the negacyclic NTT"
+        );
+        let modulus = Modulus::new(p);
+        let psi = primitive_root(p, 2 * degree as u64);
+        let psi_inv = modulus.inv(psi).expect("psi invertible");
+        let bits = degree.trailing_zeros();
+
+        let mut root_powers = vec![0u64; degree];
+        let mut inv_root_powers = vec![0u64; degree];
+        let mut acc = 1u64;
+        let mut acc_inv = 1u64;
+        // powers stored at bit-reversed indices
+        let mut fwd = vec![0u64; degree];
+        let mut inv = vec![0u64; degree];
+        for i in 0..degree {
+            fwd[i] = acc;
+            inv[i] = acc_inv;
+            acc = modulus.mul(acc, psi);
+            acc_inv = modulus.mul(acc_inv, psi_inv);
+        }
+        for i in 0..degree {
+            root_powers[i] = fwd[bit_reverse(i, bits)];
+            inv_root_powers[i] = inv[bit_reverse(i, bits)];
+        }
+
+        let root_powers_shoup = root_powers.iter().map(|&w| modulus.shoup(w)).collect();
+        let inv_root_powers_shoup = inv_root_powers.iter().map(|&w| modulus.shoup(w)).collect();
+        let inv_degree = modulus.inv(degree as u64).expect("degree invertible");
+        let inv_degree_shoup = modulus.shoup(inv_degree);
+        Self {
+            modulus,
+            degree,
+            root_powers,
+            root_powers_shoup,
+            inv_root_powers,
+            inv_root_powers_shoup,
+            inv_degree,
+            inv_degree_shoup,
+        }
+    }
+
+    /// The modulus these tables were built for.
+    pub fn modulus(&self) -> &Modulus {
+        &self.modulus
+    }
+
+    /// The transform degree `N`.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// In-place forward negacyclic NTT (coefficients -> evaluations, in
+    /// bit-reversed evaluation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != degree`.
+    pub fn forward(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.degree);
+        let m = &self.modulus;
+        let n = self.degree;
+        let mut t = n;
+        let mut size = 1usize;
+        while size < n {
+            t >>= 1;
+            for i in 0..size {
+                let w = self.root_powers[size + i];
+                let ws = self.root_powers_shoup[size + i];
+                let j1 = 2 * i * t;
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = m.mul_shoup(a[j + t], w, ws);
+                    a[j] = m.add(u, v);
+                    a[j + t] = m.sub(u, v);
+                }
+            }
+            size <<= 1;
+        }
+    }
+
+    /// In-place inverse negacyclic NTT (evaluations -> coefficients).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != degree`.
+    pub fn inverse(&self, a: &mut [u64]) {
+        assert_eq!(a.len(), self.degree);
+        let m = &self.modulus;
+        let n = self.degree;
+        let mut t = 1usize;
+        let mut size = n >> 1;
+        while size >= 1 {
+            let mut j1 = 0usize;
+            for i in 0..size {
+                let w = self.inv_root_powers[size + i];
+                let ws = self.inv_root_powers_shoup[size + i];
+                for j in j1..j1 + t {
+                    let u = a[j];
+                    let v = a[j + t];
+                    a[j] = m.add(u, v);
+                    a[j + t] = m.mul_shoup(m.sub(u, v), w, ws);
+                }
+                j1 += 2 * t;
+            }
+            t <<= 1;
+            size >>= 1;
+        }
+        for x in a.iter_mut() {
+            *x = m.mul_shoup(*x, self.inv_degree, self.inv_degree_shoup);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primes::ntt_primes;
+
+    fn naive_negacyclic(a: &[u64], b: &[u64], p: u64) -> Vec<u64> {
+        let n = a.len();
+        let m = Modulus::new(p);
+        let mut out = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                let prod = m.mul(a[i], b[j]);
+                let k = i + j;
+                if k < n {
+                    out[k] = m.add(out[k], prod);
+                } else {
+                    out[k - n] = m.sub(out[k - n], prod);
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip() {
+        for degree in [8usize, 64, 1024] {
+            let p = ntt_primes(30, degree, 1)[0];
+            let tables = NttTables::new(p, degree);
+            let orig: Vec<u64> = (0..degree as u64).map(|i| (i * 37 + 11) % p).collect();
+            let mut a = orig.clone();
+            tables.forward(&mut a);
+            tables.inverse(&mut a);
+            assert_eq!(a, orig);
+        }
+    }
+
+    #[test]
+    fn pointwise_is_negacyclic_convolution() {
+        let degree = 32usize;
+        let p = ntt_primes(30, degree, 1)[0];
+        let m = Modulus::new(p);
+        let tables = NttTables::new(p, degree);
+        let a: Vec<u64> = (0..degree as u64).map(|i| (i * i + 3) % p).collect();
+        let b: Vec<u64> = (0..degree as u64).map(|i| (7 * i + 1) % p).collect();
+        let expected = naive_negacyclic(&a, &b, p);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        tables.forward(&mut fa);
+        tables.forward(&mut fb);
+        let mut fc: Vec<u64> = fa.iter().zip(&fb).map(|(&x, &y)| m.mul(x, y)).collect();
+        tables.inverse(&mut fc);
+        assert_eq!(fc, expected);
+    }
+
+    #[test]
+    fn x_times_x_pow_n_minus_1_wraps_negatively() {
+        // (X) * (X^{N-1}) = X^N = -1 in the negacyclic ring.
+        let degree = 16usize;
+        let p = ntt_primes(30, degree, 1)[0];
+        let tables = NttTables::new(p, degree);
+        let mut a = vec![0u64; degree];
+        a[1] = 1;
+        let mut b = vec![0u64; degree];
+        b[degree - 1] = 1;
+        let m = Modulus::new(p);
+        tables.forward(&mut a);
+        tables.forward(&mut b);
+        let mut c: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| m.mul(x, y)).collect();
+        tables.inverse(&mut c);
+        let mut expected = vec![0u64; degree];
+        expected[0] = p - 1;
+        assert_eq!(c, expected);
+    }
+}

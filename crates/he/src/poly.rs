@@ -1,0 +1,322 @@
+//! RNS polynomials in `Z_q[X]/(X^N + 1)`.
+//!
+//! A [`Poly`] stores one residue vector per coefficient prime
+//! (residue-major layout) and tracks whether it is in coefficient or
+//! NTT (evaluation) representation. All ring operations required by BFV
+//! are provided: addition, subtraction, negation, pointwise (NTT-domain)
+//! multiplication, scalar multiplication and Galois automorphisms.
+
+use crate::context::Context;
+use std::sync::Arc;
+
+/// Representation of a polynomial's residues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolyForm {
+    /// Coefficient representation.
+    Coeff,
+    /// NTT (evaluation) representation.
+    Ntt,
+}
+
+/// An RNS polynomial bound to a [`Context`].
+#[derive(Debug, Clone)]
+pub struct Poly {
+    ctx: Arc<Context>,
+    /// `moduli_count * degree` residues, residue-major.
+    data: Vec<u64>,
+    form: PolyForm,
+}
+
+impl Poly {
+    /// The zero polynomial in the given form.
+    pub fn zero(ctx: &Arc<Context>, form: PolyForm) -> Self {
+        Self {
+            ctx: Arc::clone(ctx),
+            data: vec![0u64; ctx.moduli_count() * ctx.degree()],
+            form,
+        }
+    }
+
+    /// Builds a polynomial from raw residues (residue-major).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != moduli_count * degree`.
+    pub fn from_residues(ctx: &Arc<Context>, data: Vec<u64>, form: PolyForm) -> Self {
+        assert_eq!(data.len(), ctx.moduli_count() * ctx.degree());
+        Self {
+            ctx: Arc::clone(ctx),
+            data,
+            form,
+        }
+    }
+
+    /// Builds a polynomial from signed coefficients, reducing each into
+    /// every RNS modulus (coefficient form).
+    pub fn from_signed_coeffs(ctx: &Arc<Context>, coeffs: &[i64]) -> Self {
+        assert_eq!(coeffs.len(), ctx.degree());
+        let n = ctx.degree();
+        let k = ctx.moduli_count();
+        let mut data = vec![0u64; k * n];
+        for (i, m) in ctx.moduli().iter().enumerate() {
+
+            for (j, &c) in coeffs.iter().enumerate() {
+                data[i * n + j] = if c >= 0 {
+                    m.reduce(c as u64)
+                } else {
+                    m.sub(0, m.reduce((-c) as u64))
+                };
+            }
+        }
+        let _ = k;
+        Self {
+            ctx: Arc::clone(ctx),
+            data,
+            form: PolyForm::Coeff,
+        }
+    }
+
+    /// The context this polynomial belongs to.
+    pub fn context(&self) -> &Arc<Context> {
+        &self.ctx
+    }
+
+    /// Current representation.
+    pub fn form(&self) -> PolyForm {
+        self.form
+    }
+
+    /// Residues for modulus index `i`.
+    pub fn residues(&self, i: usize) -> &[u64] {
+        let n = self.ctx.degree();
+        &self.data[i * n..(i + 1) * n]
+    }
+
+    /// Mutable residues for modulus index `i`.
+    pub fn residues_mut(&mut self, i: usize) -> &mut [u64] {
+        let n = self.ctx.degree();
+        &mut self.data[i * n..(i + 1) * n]
+    }
+
+    /// Raw residue storage.
+    pub fn raw(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Converts to NTT form in place (no-op if already NTT).
+    pub fn to_ntt(&mut self) {
+        if self.form == PolyForm::Ntt {
+            return;
+        }
+        let ctx = Arc::clone(&self.ctx);
+        for (i, tables) in ctx.ntt_tables().iter().enumerate() {
+            tables.forward(self.residues_mut(i));
+        }
+        self.form = PolyForm::Ntt;
+    }
+
+    /// Converts to coefficient form in place (no-op if already coeff).
+    pub fn to_coeff(&mut self) {
+        if self.form == PolyForm::Coeff {
+            return;
+        }
+        let ctx = Arc::clone(&self.ctx);
+        for (i, tables) in ctx.ntt_tables().iter().enumerate() {
+            tables.inverse(self.residues_mut(i));
+        }
+        self.form = PolyForm::Coeff;
+    }
+
+    fn assert_compatible(&self, other: &Poly) {
+        assert!(
+            Arc::ptr_eq(&self.ctx, &other.ctx) || self.ctx.params() == other.ctx.params(),
+            "polynomials from different contexts"
+        );
+        assert_eq!(self.form, other.form, "polynomial form mismatch");
+    }
+
+    /// `self += other` (element-wise in either form).
+    pub fn add_assign(&mut self, other: &Poly) {
+        self.assert_compatible(other);
+        let ctx = Arc::clone(&self.ctx);
+        let n = ctx.degree();
+        for (i, m) in ctx.moduli().iter().enumerate() {
+            let dst = &mut self.data[i * n..(i + 1) * n];
+            let src = &other.data[i * n..(i + 1) * n];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = m.add(*d, s);
+            }
+        }
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, other: &Poly) {
+        self.assert_compatible(other);
+        let ctx = Arc::clone(&self.ctx);
+        let n = ctx.degree();
+        for (i, m) in ctx.moduli().iter().enumerate() {
+            let dst = &mut self.data[i * n..(i + 1) * n];
+            let src = &other.data[i * n..(i + 1) * n];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = m.sub(*d, s);
+            }
+        }
+    }
+
+    /// `self = -self`.
+    pub fn neg_assign(&mut self) {
+        let ctx = Arc::clone(&self.ctx);
+        let n = ctx.degree();
+        for (i, m) in ctx.moduli().iter().enumerate() {
+            for d in &mut self.data[i * n..(i + 1) * n] {
+                *d = m.neg(*d);
+            }
+        }
+    }
+
+    /// `self *= other`, pointwise; both must be in NTT form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either polynomial is in coefficient form.
+    pub fn mul_assign_ntt(&mut self, other: &Poly) {
+        assert_eq!(self.form, PolyForm::Ntt, "lhs must be in NTT form");
+        self.assert_compatible(other);
+        let ctx = Arc::clone(&self.ctx);
+        let n = ctx.degree();
+        for (i, m) in ctx.moduli().iter().enumerate() {
+            let dst = &mut self.data[i * n..(i + 1) * n];
+            let src = &other.data[i * n..(i + 1) * n];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = m.mul(*d, s);
+            }
+        }
+    }
+
+    /// Multiplies every residue of modulus `i` by `scalar_i` (a per-modulus
+    /// scalar, e.g. `Δ mod q_i`).
+    pub fn mul_scalar_per_modulus(&mut self, scalars: &[u64]) {
+        let ctx = Arc::clone(&self.ctx);
+        assert_eq!(scalars.len(), ctx.moduli_count());
+        let n = ctx.degree();
+        for (i, m) in ctx.moduli().iter().enumerate() {
+            let s = scalars[i];
+            for d in &mut self.data[i * n..(i + 1) * n] {
+                *d = m.mul(*d, s);
+            }
+        }
+    }
+
+    /// Applies the Galois automorphism `X -> X^g` (odd `g`, `1 <= g < 2N`).
+    ///
+    /// Must be in coefficient form: coefficient `j` of the result comes
+    /// from coefficient `j' ` where `j' * g ≡ j (mod 2N)` with the
+    /// negacyclic sign rule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the polynomial is in NTT form or `g` is even.
+    pub fn apply_galois(&self, g: usize) -> Poly {
+        assert_eq!(self.form, PolyForm::Coeff, "galois requires coeff form");
+        assert_eq!(g % 2, 1, "galois element must be odd");
+        let ctx = &self.ctx;
+        let n = ctx.degree();
+        let two_n = 2 * n;
+        let mut out = Poly::zero(ctx, PolyForm::Coeff);
+        for (i, m) in ctx.moduli().iter().enumerate() {
+            let src = self.residues(i);
+            let dst = out.residues_mut(i);
+            for j in 0..n {
+                // x^j -> x^{j*g mod 2n}, with x^n = -1.
+                let idx = (j * g) % two_n;
+                let v = src[j];
+                if idx < n {
+                    dst[idx] = m.add(dst[idx], v);
+                } else {
+                    dst[idx - n] = m.sub(dst[idx - n], v);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Context;
+    use crate::params::{EncryptionParams, ParamLevel};
+
+    fn ctx() -> Arc<Context> {
+        Context::new(EncryptionParams::new(ParamLevel::N4096))
+    }
+
+    #[test]
+    fn ntt_roundtrip_preserves_poly() {
+        let ctx = ctx();
+        let coeffs: Vec<i64> = (0..ctx.degree() as i64).map(|i| (i * 7) % 1000 - 500).collect();
+        let orig = Poly::from_signed_coeffs(&ctx, &coeffs);
+        let mut p = orig.clone();
+        p.to_ntt();
+        p.to_coeff();
+        assert_eq!(p.raw(), orig.raw());
+    }
+
+    #[test]
+    fn add_then_sub_is_identity() {
+        let ctx = ctx();
+        let a = Poly::from_signed_coeffs(&ctx, &vec![3i64; ctx.degree()]);
+        let b = Poly::from_signed_coeffs(&ctx, &vec![-5i64; ctx.degree()]);
+        let mut c = a.clone();
+        c.add_assign(&b);
+        c.sub_assign(&b);
+        assert_eq!(c.raw(), a.raw());
+    }
+
+    #[test]
+    fn galois_identity_element() {
+        let ctx = ctx();
+        let coeffs: Vec<i64> = (0..ctx.degree() as i64).map(|i| i % 17).collect();
+        let p = Poly::from_signed_coeffs(&ctx, &coeffs);
+        let q = p.apply_galois(1);
+        assert_eq!(p.raw(), q.raw());
+    }
+
+    #[test]
+    fn galois_composition() {
+        // applying g then h equals applying g*h mod 2n
+        let ctx = ctx();
+        let n = ctx.degree();
+        let coeffs: Vec<i64> = (0..n as i64).map(|i| (i * i) % 23 - 11).collect();
+        let p = Poly::from_signed_coeffs(&ctx, &coeffs);
+        let g = 3usize;
+        let h = 5usize;
+        let a = p.apply_galois(g).apply_galois(h);
+        let b = p.apply_galois((g * h) % (2 * n));
+        assert_eq!(a.raw(), b.raw());
+    }
+
+    #[test]
+    fn ntt_mul_is_ring_mul() {
+        // (1 + x) * (1 - x) = 1 - x^2
+        let ctx = ctx();
+        let n = ctx.degree();
+        let mut a_coeffs = vec![0i64; n];
+        a_coeffs[0] = 1;
+        a_coeffs[1] = 1;
+        let mut b_coeffs = vec![0i64; n];
+        b_coeffs[0] = 1;
+        b_coeffs[1] = -1;
+        let mut a = Poly::from_signed_coeffs(&ctx, &a_coeffs);
+        let mut b = Poly::from_signed_coeffs(&ctx, &b_coeffs);
+        a.to_ntt();
+        b.to_ntt();
+        a.mul_assign_ntt(&b);
+        a.to_coeff();
+        let mut expected = vec![0i64; n];
+        expected[0] = 1;
+        expected[2] = -1;
+        let e = Poly::from_signed_coeffs(&ctx, &expected);
+        assert_eq!(a.raw(), e.raw());
+    }
+}

@@ -1,0 +1,169 @@
+//! Prime generation for NTT-friendly moduli.
+//!
+//! BFV needs coefficient moduli `q_i ≡ 1 (mod 2N)` so that the negacyclic
+//! NTT of degree `N` exists modulo each prime, and a plaintext modulus with
+//! the same property for SIMD batching. This module provides deterministic
+//! Miller–Rabin primality testing (exact for all `u64`) and searches for
+//! such primes at requested bit sizes.
+
+use crate::modulus::Modulus;
+
+/// Deterministic Miller–Rabin for 64-bit integers.
+///
+/// Uses the known-sufficient witness set for `u64`.
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n % p == 0 {
+            return false;
+        }
+    }
+    let m = Modulus::new(n);
+    let mut d = n - 1;
+    let mut r = 0u32;
+    while d % 2 == 0 {
+        d /= 2;
+        r += 1;
+    }
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = m.pow(a, d);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..r - 1 {
+            x = m.mul(x, x);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Finds `count` distinct primes of exactly `bits` bits with
+/// `p ≡ 1 (mod 2 * degree)`, searching downward from `2^bits - 1`.
+///
+/// # Panics
+///
+/// Panics if `bits` is out of `(log2(2*degree), 62]` or not enough primes
+/// exist (which cannot happen for the parameter sets used here).
+pub fn ntt_primes(bits: u32, degree: usize, count: usize) -> Vec<u64> {
+    assert!(bits <= 62 && bits >= 2, "prime bit size out of range");
+    let step = 2 * degree as u64;
+    assert!(
+        (1u64 << (bits - 1)) > step,
+        "prime size too small for degree"
+    );
+    let mut out = Vec::with_capacity(count);
+    // Largest candidate of the form k*2N + 1 below 2^bits.
+    let top = (1u64 << bits) - 1;
+    let mut cand = top - ((top - 1) % step);
+    while out.len() < count {
+        assert!(
+            cand >= (1u64 << (bits - 1)),
+            "exhausted {bits}-bit primes congruent to 1 mod {step}"
+        );
+        if is_prime(cand) {
+            out.push(cand);
+        }
+        cand -= step;
+    }
+    out
+}
+
+/// Finds the smallest prime `>= lower_bound` with `p ≡ 1 (mod 2 * degree)`.
+pub fn prime_at_least(lower_bound: u64, degree: usize) -> u64 {
+    let step = 2 * degree as u64;
+    let mut cand = lower_bound + ((step + 1 - (lower_bound % step)) % step);
+    if cand < lower_bound {
+        cand += step;
+    }
+    loop {
+        if is_prime(cand) {
+            return cand;
+        }
+        cand += step;
+    }
+}
+
+/// Finds a generator of the multiplicative group mod prime `p` and returns
+/// a primitive `order`-th root of unity (`order` must divide `p - 1`).
+pub fn primitive_root(p: u64, order: u64) -> u64 {
+    assert_eq!((p - 1) % order, 0, "order must divide p-1");
+    let m = Modulus::new(p);
+    let cofactor = (p - 1) / order;
+    // Try small candidates; a primitive order-th root g satisfies
+    // g^(order/2) != 1 for even order (order is a power of two here).
+    for base in 2..p {
+        let g = m.pow(base, cofactor);
+        if g == 1 {
+            continue;
+        }
+        if m.pow(g, order / 2) == p - 1 {
+            return g;
+        }
+    }
+    unreachable!("no primitive root found for prime {p}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes() {
+        let primes: Vec<u64> = (0..60).filter(|&n| is_prime(n)).collect();
+        assert_eq!(
+            primes,
+            vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+        );
+    }
+
+    #[test]
+    fn known_composites() {
+        // Carmichael numbers and strong-pseudoprime traps.
+        for &n in &[561u64, 1105, 1729, 3215031751, 3825123056546413051] {
+            assert!(!is_prime(n), "{n} wrongly reported prime");
+        }
+        assert!(is_prime((1u64 << 61) - 1)); // Mersenne prime 2^61 - 1
+    }
+
+    #[test]
+    fn ntt_primes_are_congruent() {
+        for &(bits, degree) in &[(36u32, 4096usize), (43, 8192), (48, 16384), (54, 2048)] {
+            let ps = ntt_primes(bits, degree, 3);
+            for &p in &ps {
+                assert!(is_prime(p));
+                assert_eq!(p % (2 * degree as u64), 1);
+                assert_eq!(64 - p.leading_zeros(), bits);
+            }
+            // distinct
+            assert!(ps[0] != ps[1] && ps[1] != ps[2]);
+        }
+    }
+
+    #[test]
+    fn primitive_root_has_exact_order() {
+        let degree = 4096usize;
+        let p = ntt_primes(36, degree, 1)[0];
+        let m = Modulus::new(p);
+        let order = 2 * degree as u64;
+        let g = primitive_root(p, order);
+        assert_eq!(m.pow(g, order), 1);
+        assert_eq!(m.pow(g, order / 2), p - 1);
+    }
+
+    #[test]
+    fn plaintext_prime_near_2_20() {
+        let t = prime_at_least(1 << 20, 16384);
+        assert!(is_prime(t));
+        assert_eq!(t % 32768, 1);
+        assert!(t >= 1 << 20 && t < (1 << 21));
+    }
+}

@@ -1,0 +1,19 @@
+//! # spot-pipeline — tiny-client pipeline simulator
+//!
+//! Replaces the paper's physical testbed (Nexus 6 / Kinetis K27 / EPYC
+//! server) with calibrated cost-model simulation: device profiles with
+//! CPU scale factors and memory budgets, per-level HE operation cost
+//! tables, and a discrete-event scheduler that replays each scheme's
+//! exact operation plan under the client's ciphertext capacity — the
+//! mechanism behind the paper's *linear computation stall*.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod plan;
+pub mod report;
+pub mod sim;
+
+pub use device::{DeviceProfile, HeCostTable, OpCosts};
+pub use plan::{ConvPlan, OutputDependency};
+pub use sim::{simulate_conv, simulate_layers, LayerTiming, SimConfig, SimResult};

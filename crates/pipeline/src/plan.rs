@@ -1,0 +1,162 @@
+//! Execution plans: the scheme-independent summary of one secure
+//! convolution layer that the discrete-event simulator schedules.
+//!
+//! A [`ConvPlan`] is produced by each scheme in `spot-core` from the same
+//! code paths that execute the real HE computation (operation counts are
+//! recorded, not hand-derived), so the simulated timeline reflects what
+//! the implementation actually does.
+
+use spot_he::evaluator::OpCounts;
+use spot_he::params::ParamLevel;
+
+/// How output ciphertexts depend on input ciphertexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputDependency {
+    /// Every output needs *all* inputs (channel-wise packing, Cheetah):
+    /// the server cannot finish anything until the last input arrives —
+    /// the paper's *linear computation stall*.
+    AllInputs,
+    /// Each input ciphertext independently produces its own outputs
+    /// (SPOT structure patching): results stream back immediately.
+    PerInput,
+}
+
+/// The summary of one secure convolution layer execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvPlan {
+    /// Scheme name for reports.
+    pub scheme: &'static str,
+    /// HE parameter level used.
+    pub level: ParamLevel,
+    /// Ciphertexts the client encrypts and uploads.
+    pub input_cts: usize,
+    /// Ciphertexts returned to the client.
+    pub output_cts: usize,
+    /// Server HE work that can run as soon as one input arrives,
+    /// averaged per input ciphertext.
+    pub per_ct_ops: OpCounts,
+    /// Server HE work requiring all inputs (cross-ciphertext additions);
+    /// zero for SPOT.
+    pub finalize_ops: OpCounts,
+    /// Output dependency structure.
+    pub dependency: OutputDependency,
+    /// Extra downstream bytes beyond `output_cts` full ciphertexts
+    /// (e.g. Cheetah's extracted LWE coefficient ciphertexts).
+    pub extra_downstream_bytes: u64,
+    /// Client-side share-assembly additions after decryption (overlap
+    /// tweaking arithmetic), total element operations.
+    pub assembly_elements: u64,
+    /// Extra client-side CPU seconds (reference core) beyond standard
+    /// decryption — e.g. Cheetah's per-coefficient LWE processing.
+    pub client_extra_s: f64,
+    /// ReLU elements computed after this convolution (0 = none).
+    pub relu_elements: usize,
+    /// Serialized bytes of one ciphertext at `level`.
+    pub ciphertext_bytes: usize,
+    /// SIMD slots actually carrying feature-map values per input
+    /// ciphertext (for the memory-utilization figure).
+    pub useful_input_slots: usize,
+    /// SIMD slots actually carrying result values per output ciphertext.
+    pub useful_output_slots: usize,
+}
+
+impl ConvPlan {
+    /// Total server HE operations (per-ct work across all inputs plus
+    /// finalization).
+    pub fn total_server_ops(&self) -> OpCounts {
+        let n = self.input_cts as u64;
+        OpCounts {
+            add: self.per_ct_ops.add * n + self.finalize_ops.add,
+            mult_plain: self.per_ct_ops.mult_plain * n + self.finalize_ops.mult_plain,
+            rotate: self.per_ct_ops.rotate * n + self.finalize_ops.rotate,
+            encrypt: 0,
+            decrypt: 0,
+        }
+    }
+
+    /// Upstream communication bytes (client → server).
+    pub fn upstream_bytes(&self) -> u64 {
+        (self.input_cts * self.ciphertext_bytes) as u64
+    }
+
+    /// Downstream communication bytes (server → client).
+    pub fn downstream_bytes(&self) -> u64 {
+        (self.output_cts * self.ciphertext_bytes) as u64 + self.extra_downstream_bytes
+    }
+
+    /// *In-memory value* (Fig. 11 metric): useful feature-map entries per
+    /// megabyte of client memory holding input ciphertexts.
+    pub fn in_memory_values_per_mb(&self) -> f64 {
+        self.useful_input_slots as f64 / (self.ciphertext_bytes as f64 / (1024.0 * 1024.0))
+    }
+
+    /// Rough single-number cost estimate (reference-core seconds plus
+    /// WLAN transfer time) used to choose between parameter levels.
+    pub fn estimated_seconds(&self, costs: &crate::device::HeCostTable) -> f64 {
+        let c = costs.at(self.level);
+        let ops = self.total_server_ops();
+        let server = ops.add as f64 * c.add
+            + ops.mult_plain as f64 * c.mult_plain
+            + ops.rotate as f64 * c.rotate;
+        let client = self.input_cts as f64 * c.encrypt
+            + self.output_cts as f64 * c.decrypt
+            + self.client_extra_s;
+        let comm = (self.upstream_bytes() + self.downstream_bytes()) as f64 / 12.5e6;
+        server + client + comm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> ConvPlan {
+        ConvPlan {
+            scheme: "test",
+            level: ParamLevel::N4096,
+            input_cts: 4,
+            output_cts: 2,
+            per_ct_ops: OpCounts {
+                add: 10,
+                mult_plain: 20,
+                rotate: 5,
+                encrypt: 0,
+                decrypt: 0,
+            },
+            finalize_ops: OpCounts {
+                add: 3,
+                mult_plain: 0,
+                rotate: 0,
+                encrypt: 0,
+                decrypt: 0,
+            },
+            dependency: OutputDependency::AllInputs,
+            extra_downstream_bytes: 100,
+            assembly_elements: 0,
+            client_extra_s: 0.0,
+            relu_elements: 1000,
+            ciphertext_bytes: 131_697,
+            useful_input_slots: 4096,
+            useful_output_slots: 2048,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let p = plan();
+        let t = p.total_server_ops();
+        assert_eq!(t.add, 43);
+        assert_eq!(t.mult_plain, 80);
+        assert_eq!(t.rotate, 20);
+        assert_eq!(p.upstream_bytes(), 4 * 131_697);
+        assert_eq!(p.downstream_bytes(), 2 * 131_697 + 100);
+    }
+
+    #[test]
+    fn in_memory_metric() {
+        let p = plan();
+        let v = p.in_memory_values_per_mb();
+        // 4096 values in ~0.1256 MB ≈ 32.6k values/MB
+        assert!((30_000.0..36_000.0).contains(&v), "v = {v}");
+    }
+}

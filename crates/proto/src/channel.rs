@@ -1,0 +1,179 @@
+//! In-memory two-party channel with byte and round accounting.
+//!
+//! The paper's client and server talk over a LAN/WLAN link; here both run
+//! in-process and every message passes through a [`Channel`] that counts
+//! bytes and communication rounds so the pipeline simulator can charge
+//! transfer time under a configurable link model.
+
+/// A simple link model: fixed per-message latency plus bandwidth-limited
+/// transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// One-way latency in seconds.
+    pub latency_s: f64,
+    /// Bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl LinkModel {
+    /// A gigabit LAN (0.2 ms latency, 125 MB/s).
+    pub fn lan() -> Self {
+        Self {
+            latency_s: 0.0002,
+            bandwidth_bps: 125e6,
+        }
+    }
+
+    /// A WLAN link (2 ms latency, 50 MB/s — 802.11ac-class) — the regime
+    /// of the paper's Nexus 6 / IoT clients.
+    pub fn wlan() -> Self {
+        Self {
+            latency_s: 0.002,
+            bandwidth_bps: 50e6,
+        }
+    }
+
+    /// Transfer time for a message of `bytes` bytes.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency_s + bytes as f64 / self.bandwidth_bps
+    }
+}
+
+/// Accumulated traffic statistics for one direction of a channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Total bytes sent.
+    pub bytes: u64,
+    /// Number of messages (each message is half a round trip).
+    pub messages: u64,
+}
+
+/// A bidirectional in-memory channel with per-direction accounting.
+#[derive(Debug, Default)]
+pub struct Channel {
+    client_to_server: TrafficStats,
+    server_to_client: TrafficStats,
+    inbox_client: Vec<Vec<u8>>,
+    inbox_server: Vec<Vec<u8>>,
+}
+
+impl Channel {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Client sends `bytes` to the server.
+    pub fn send_to_server(&mut self, payload: Vec<u8>) {
+        self.client_to_server.bytes += payload.len() as u64;
+        self.client_to_server.messages += 1;
+        self.inbox_server.push(payload);
+    }
+
+    /// Server sends `bytes` to the client.
+    pub fn send_to_client(&mut self, payload: Vec<u8>) {
+        self.server_to_client.bytes += payload.len() as u64;
+        self.server_to_client.messages += 1;
+        self.inbox_client.push(payload);
+    }
+
+    /// Server receives the oldest pending message, if any.
+    pub fn recv_at_server(&mut self) -> Option<Vec<u8>> {
+        if self.inbox_server.is_empty() {
+            None
+        } else {
+            Some(self.inbox_server.remove(0))
+        }
+    }
+
+    /// Client receives the oldest pending message, if any.
+    pub fn recv_at_client(&mut self) -> Option<Vec<u8>> {
+        if self.inbox_client.is_empty() {
+            None
+        } else {
+            Some(self.inbox_client.remove(0))
+        }
+    }
+
+    /// Records abstract traffic without materialising a payload (used by
+    /// the OT cost model, which never builds real OT messages).
+    pub fn charge(&mut self, client_to_server_bytes: u64, server_to_client_bytes: u64) {
+        if client_to_server_bytes > 0 {
+            self.client_to_server.bytes += client_to_server_bytes;
+            self.client_to_server.messages += 1;
+        }
+        if server_to_client_bytes > 0 {
+            self.server_to_client.bytes += server_to_client_bytes;
+            self.server_to_client.messages += 1;
+        }
+    }
+
+    /// Upstream (client→server) statistics.
+    pub fn upstream(&self) -> TrafficStats {
+        self.client_to_server
+    }
+
+    /// Downstream (server→client) statistics.
+    pub fn downstream(&self) -> TrafficStats {
+        self.server_to_client
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> u64 {
+        self.client_to_server.bytes + self.server_to_client.bytes
+    }
+
+    /// Estimated wall-clock communication time under a link model
+    /// (messages serialized, no pipelining).
+    pub fn comm_time(&self, link: &LinkModel) -> f64 {
+        let msgs = self.client_to_server.messages + self.server_to_client.messages;
+        msgs as f64 * link.latency_s + self.total_bytes() as f64 / link.bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_delivery() {
+        let mut ch = Channel::new();
+        ch.send_to_server(vec![1]);
+        ch.send_to_server(vec![2, 3]);
+        assert_eq!(ch.recv_at_server(), Some(vec![1]));
+        assert_eq!(ch.recv_at_server(), Some(vec![2, 3]));
+        assert_eq!(ch.recv_at_server(), None);
+    }
+
+    #[test]
+    fn accounting_tracks_both_directions() {
+        let mut ch = Channel::new();
+        ch.send_to_server(vec![0u8; 100]);
+        ch.send_to_client(vec![0u8; 50]);
+        ch.charge(10, 20);
+        assert_eq!(ch.upstream().bytes, 110);
+        assert_eq!(ch.downstream().bytes, 70);
+        assert_eq!(ch.upstream().messages, 2);
+        assert_eq!(ch.total_bytes(), 180);
+    }
+
+    #[test]
+    fn link_model_times() {
+        let lan = LinkModel::lan();
+        // 125 MB at 125 MB/s = 1s + latency
+        let t = lan.transfer_time(125_000_000);
+        assert!((t - 1.0002).abs() < 1e-9);
+        assert!(LinkModel::wlan().transfer_time(1000) > lan.transfer_time(1000));
+    }
+
+    #[test]
+    fn comm_time_counts_messages() {
+        let mut ch = Channel::new();
+        for _ in 0..10 {
+            ch.send_to_server(vec![0u8; 1000]);
+        }
+        let lan = LinkModel::lan();
+        let t = ch.comm_time(&lan);
+        assert!((t - (10.0 * lan.latency_s + 10_000.0 / lan.bandwidth_bps)).abs() < 1e-12);
+    }
+}

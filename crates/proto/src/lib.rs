@@ -1,0 +1,16 @@
+//! # spot-proto — two-party protocol substrate
+//!
+//! Additive secret sharing over `Z_t`, a byte-counting in-memory channel
+//! with link models, and the OT-based non-linear layers (ReLU, DReLU,
+//! max pooling, truncation) of CrypTFlow2's SCI module, evaluated
+//! functionally on shares with a faithful cost model.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod cost;
+pub mod relu;
+pub mod share;
+
+pub use channel::{Channel, LinkModel};
+pub use share::{reconstruct, share, Party, ShareVec};

@@ -1,0 +1,18 @@
+//! # spot-tensor — plaintext CNN substrate
+//!
+//! Tensors, reference convolution/activation/pooling math, fixed-point
+//! encoding, and layer-by-layer specifications of the networks the SPOT
+//! paper evaluates (ResNet-18/34/50/101, VGG-11/13/16). The reference
+//! implementations here are the ground truth the homomorphic schemes in
+//! `spot-core` are verified against.
+
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod fixed;
+pub mod models;
+pub mod tensor;
+
+pub use conv::{conv2d, relu};
+pub use models::{ConvShape, Layer, Network};
+pub use tensor::{Kernel, Tensor};

@@ -1,0 +1,43 @@
+//! # SPOT — Structure Patching and Overlap Tweaking
+//!
+//! A from-scratch Rust reproduction of *SPOT: Structure Patching and
+//! Overlap Tweaking for Effective Pipelining in Privacy-Preserving MLaaS
+//! with Tiny Clients* (ICDCS 2024): privacy-preserving CNN inference for
+//! memory-constrained clients, built on a self-contained BFV
+//! homomorphic-encryption implementation.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`he`] — SIMD-batched BFV (replaces Microsoft SEAL)
+//! * [`tensor`] — plaintext CNN substrate and model specs
+//! * [`proto`] — secret sharing, channels, OT-based non-linear layers
+//! * [`pipeline`] — tiny-client device profiles and pipeline simulator
+//! * [`core`] — SPOT itself plus the CrypTFlow2/Cheetah baselines
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use spot::he::prelude::*;
+//! use spot::core::{patching::PatchMode, spot as spot_conv};
+//! use spot::tensor::{conv2d, Kernel, Tensor};
+//!
+//! // Secure 3x3 convolution of a 4-channel 8x8 input via SPOT patches.
+//! let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let keygen = KeyGenerator::new(&ctx, &mut rng);
+//! let input = Tensor::random(4, 8, 8, 8, 1);
+//! let kernel = Kernel::random(4, 4, 3, 3, 4, 2);
+//! let result = spot_conv::execute(
+//!     &ctx, &keygen, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng,
+//! );
+//! assert_eq!(result.reconstruct(), conv2d(&input, &kernel, 1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use spot_core as core;
+pub use spot_he as he;
+pub use spot_pipeline as pipeline;
+pub use spot_proto as proto;
+pub use spot_tensor as tensor;

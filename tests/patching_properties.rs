@@ -1,0 +1,106 @@
+//! Property tests for the structure-patching math: for arbitrary input
+//! shapes, patch sizes, and kernel sizes, the decompose → per-piece
+//! convolve → assemble pipeline must equal the monolithic convolution.
+//! This is the inclusion–exclusion identity that overlap tweaking's
+//! correctness rests on (Sec. III-B of the paper).
+
+use proptest::prelude::*;
+use spot::core::patching::{decompose, reference_patched_conv, PatchMode};
+use spot::tensor::{conv2d, Kernel, Tensor};
+
+fn k_sizes() -> impl Strategy<Value = usize> {
+    prop_oneof![Just(1usize), Just(3), Just(5)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tweaked_assembly_equals_monolithic_conv(
+        h in 5usize..14,
+        w in 5usize..14,
+        ci in 1usize..4,
+        co in 1usize..4,
+        ph in 3usize..7,
+        pw in 3usize..7,
+        k in k_sizes(),
+        seed in 0u64..1000,
+    ) {
+        // patch must exceed the tweaked overlap (k-2)
+        prop_assume!(ph > k.saturating_sub(2) && pw > k.saturating_sub(2));
+        prop_assume!(ph <= h && pw <= w);
+        let input = Tensor::random(ci, h, w, 12, seed);
+        let kernel = Kernel::random(co, ci, k, k, 6, seed + 1);
+        let got = reference_patched_conv(&input, &kernel, ph, pw, PatchMode::Tweaked);
+        let want = conv2d(&input, &kernel, 1);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn vanilla_assembly_equals_monolithic_conv(
+        h in 6usize..14,
+        w in 6usize..14,
+        ci in 1usize..3,
+        ph in 4usize..8,
+        k in prop_oneof![Just(1usize), Just(3)],
+        seed in 0u64..1000,
+    ) {
+        prop_assume!(ph > k.saturating_sub(1));
+        prop_assume!(ph <= h && ph <= w);
+        let input = Tensor::random(ci, h, w, 12, seed);
+        let kernel = Kernel::random(2, ci, k, k, 6, seed + 1);
+        let got = reference_patched_conv(&input, &kernel, ph, ph, PatchMode::Vanilla);
+        let want = conv2d(&input, &kernel, 1);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn piece_multiplicity_is_one(
+        h in 5usize..13,
+        w in 5usize..13,
+        ph in 3usize..6,
+        pw in 3usize..6,
+    ) {
+        // Every input element's signed piece-membership count must be
+        // exactly 1 — the invariant behind the arithmetic assembly.
+        let input = Tensor::random(1, h, w, 5, 99);
+        let d = decompose(&input, ph, pw, 3, PatchMode::Tweaked);
+        let mut multiplicity = vec![0i64; h * w];
+        for (class, pieces) in &d.classes {
+            for piece in pieces {
+                for y in 0..class.h {
+                    for x in 0..class.w {
+                        let gy = piece.y0 + y;
+                        let gx = piece.x0 + x;
+                        if gy < h && gx < w {
+                            multiplicity[gy * w + gx] += piece.sign;
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert!(multiplicity.iter().all(|&m| m == 1),
+            "multiplicity map not all-ones: {multiplicity:?}");
+    }
+
+    #[test]
+    fn aux_pieces_are_small_fraction(
+        ph in 4usize..8,
+        pw in 4usize..8,
+    ) {
+        // The paper's claim: overlap tweaking adds only "a small number
+        // of auxiliary ciphertexts". Auxiliary piece AREA must be well
+        // below the main patch area.
+        let input = Tensor::zeros(1, 32, 32);
+        let d = decompose(&input, ph, pw, 3, PatchMode::Tweaked);
+        let main_area: usize = d.classes[0].1.len() * ph * pw;
+        let aux_area: usize = d.classes[1..]
+            .iter()
+            .map(|(c, p)| p.len() * c.h * c.w)
+            .sum();
+        // strictly less than the main area; under 50% even for the
+        // smallest patches, shrinking as patches grow
+        prop_assert!(aux_area < main_area,
+            "aux area {aux_area} vs main {main_area}");
+    }
+}

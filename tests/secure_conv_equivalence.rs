@@ -1,0 +1,143 @@
+//! Cross-crate integration: every secure convolution scheme — channel-
+//! wise (CrypTFlow2), coefficient-encoded (Cheetah), and SPOT with both
+//! patch modes — must produce shares reconstructing to the exact
+//! plaintext convolution, across channel regimes (`C_o > C_i`,
+//! `C_o = C_i`, `C_o < C_i`), kernel sizes, and strides, under real BFV.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spot::core::patching::PatchMode;
+use spot::core::{channelwise, cheetah, spot as spot_conv};
+use spot::he::prelude::*;
+use spot::tensor::{conv2d, Kernel, Tensor};
+use std::sync::Arc;
+
+fn ctx() -> Arc<spot::he::context::Context> {
+    spot::he::context::Context::new(EncryptionParams::new(ParamLevel::N4096))
+}
+
+proptest! {
+    // Real-HE cases: keep small and few.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn all_schemes_agree_with_reference(
+        ci_log in 1usize..4,
+        co_log in 1usize..4,
+        k in prop_oneof![Just(1usize), Just(3)],
+        stride in 1usize..3,
+        seed in 0u64..100,
+    ) {
+        let ci = 1 << ci_log;
+        let co = 1 << co_log;
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keygen = KeyGenerator::new(&ctx, &mut rng);
+        let input = Tensor::random(ci, 8, 8, 6, seed);
+        let kernel = Kernel::random(co, ci, k, k, 4, seed + 1);
+        let expected = conv2d(&input, &kernel, stride);
+
+        let cw = channelwise::execute(&ctx, &keygen, &input, &kernel, stride, &mut rng);
+        prop_assert_eq!(cw.reconstruct(), expected.clone());
+
+        let ch = cheetah::execute(&ctx, &keygen, &input, &kernel, stride, &mut rng);
+        prop_assert_eq!(ch.reconstruct(), expected.clone());
+        prop_assert_eq!(ch.counts.rotate, 0);
+
+        let sp = spot_conv::execute(
+            &ctx, &keygen, &input, &kernel, stride, (4, 4), PatchMode::Tweaked, &mut rng,
+        );
+        prop_assert_eq!(sp.reconstruct(), expected);
+    }
+}
+
+#[test]
+fn spot_shares_leak_nothing_obvious() {
+    // The client share alone must look unrelated to the true output:
+    // re-running with a different RNG changes the share but not the
+    // reconstruction.
+    let ctx = ctx();
+    let mut rng1 = StdRng::seed_from_u64(1);
+    let mut rng2 = StdRng::seed_from_u64(2);
+    let kg1 = KeyGenerator::new(&ctx, &mut rng1);
+    let kg2 = KeyGenerator::new(&ctx, &mut rng2);
+    let input = Tensor::random(4, 8, 8, 6, 5);
+    let kernel = Kernel::random(4, 4, 3, 3, 4, 6);
+    let a = spot_conv::execute(&ctx, &kg1, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng1);
+    let b = spot_conv::execute(&ctx, &kg2, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng2);
+    assert_ne!(a.client_share, b.client_share, "shares must be randomized");
+    assert_eq!(a.reconstruct(), b.reconstruct());
+}
+
+#[test]
+fn spot_vanilla_and_tweaked_agree() {
+    let ctx = ctx();
+    let mut rng = StdRng::seed_from_u64(33);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let input = Tensor::random(2, 10, 10, 6, 7);
+    let kernel = Kernel::random(4, 2, 3, 3, 4, 8);
+    let v = spot_conv::execute(&ctx, &keygen, &input, &kernel, 1, (5, 5), PatchMode::Vanilla, &mut rng);
+    let t = spot_conv::execute(&ctx, &keygen, &input, &kernel, 1, (5, 5), PatchMode::Tweaked, &mut rng);
+    assert_eq!(v.reconstruct(), t.reconstruct());
+    // tweaking reduces total duplicated input footprint: fewer or equal cts
+    assert!(t.input_cts <= v.input_cts + 4, "tweaked {} vs vanilla {}", t.input_cts, v.input_cts);
+}
+
+#[test]
+fn non_square_and_padded_shapes() {
+    // Non-power-of-two spatial dims and channel counts exercise padding.
+    let ctx = ctx();
+    let mut rng = StdRng::seed_from_u64(44);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let input = Tensor::random(3, 7, 9, 6, 9);
+    let kernel = Kernel::random(5, 3, 3, 3, 4, 10);
+    let expected = conv2d(&input, &kernel, 1);
+    let cw = channelwise::execute(&ctx, &keygen, &input, &kernel, 1, &mut rng);
+    assert_eq!(cw.reconstruct(), expected);
+    let sp = spot_conv::execute(&ctx, &keygen, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng);
+    assert_eq!(sp.reconstruct(), expected);
+}
+
+#[test]
+fn deep_channel_folding_co_much_less_than_ci() {
+    // C_o << C_i exercises the concatenated-diagonal folding path.
+    let ctx = ctx();
+    let mut rng = StdRng::seed_from_u64(55);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let input = Tensor::random(16, 4, 4, 5, 11);
+    let kernel = Kernel::random(2, 16, 3, 3, 3, 12);
+    let expected = conv2d(&input, &kernel, 1);
+    let sp = spot_conv::execute(&ctx, &keygen, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng);
+    assert_eq!(sp.reconstruct(), expected);
+}
+
+#[test]
+fn spot_works_at_n8192() {
+    // Exercise a bigger parameter level end to end (5 RNS primes,
+    // deeper key-switching) — SPOT's cost-aware planner sometimes picks
+    // this level for channel-heavy layers.
+    let ctx8 = spot::he::context::Context::new(EncryptionParams::new(ParamLevel::N8192));
+    let mut rng = StdRng::seed_from_u64(77);
+    let keygen = KeyGenerator::new(&ctx8, &mut rng);
+    let input = Tensor::random(4, 8, 8, 6, 13);
+    let kernel = Kernel::random(8, 4, 3, 3, 4, 14);
+    let sp = spot_conv::execute(
+        &ctx8, &keygen, &input, &kernel, 1, (8, 4), PatchMode::Tweaked, &mut rng,
+    );
+    assert_eq!(sp.reconstruct(), conv2d(&input, &kernel, 1));
+}
+
+#[test]
+fn single_channel_input_lane_contained_path() {
+    // C_i = 1 exercises the non-split packing branch.
+    let ctx = ctx();
+    let mut rng = StdRng::seed_from_u64(88);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let input = Tensor::random(1, 8, 8, 6, 15);
+    let kernel = Kernel::random(4, 1, 3, 3, 4, 16);
+    let sp = spot_conv::execute(
+        &ctx, &keygen, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng,
+    );
+    assert_eq!(sp.reconstruct(), conv2d(&input, &kernel, 1));
+}
