@@ -13,7 +13,13 @@ fn main() {
     let shape = ConvShape::new(28, 28, 128, 128, 3, 1);
     let mut table = Table::new(
         "Batch throughput — amortized per-image seconds, 28x28x128 conv",
-        &["Batch", "SPOT desktop", "SPOT IoT", "CF2 desktop", "CF2 IoT"],
+        &[
+            "Batch",
+            "SPOT desktop",
+            "SPOT IoT",
+            "CF2 desktop",
+            "CF2 IoT",
+        ],
     );
     for batch in [1usize, 2, 4, 8, 16] {
         let mut row = vec![format!("{batch}")];

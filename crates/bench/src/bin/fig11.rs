@@ -5,7 +5,9 @@
 use spot_core::inference::{plan_conv, Scheme};
 use spot_core::memory_util::in_memory_values_per_mb;
 use spot_pipeline::report::Table;
-use spot_tensor::models::{table7_bottleneck_shapes, table8_basic_shapes, table9_vgg_shapes, ConvShape};
+use spot_tensor::models::{
+    table7_bottleneck_shapes, table8_basic_shapes, table9_vgg_shapes, ConvShape,
+};
 
 fn block_row(table: &mut Table, label: String, shape: &ConvShape) {
     let mut cells = vec![label];
@@ -23,13 +25,25 @@ fn main() {
     );
     for (w, h, cm, _co) in table7_bottleneck_shapes() {
         // the 3x3 mid conv of each ResNet-50 bottleneck stage
-        block_row(&mut table, format!("R50 bottleneck {w}x{h} c{cm}"), &ConvShape::new(w, h, cm, cm, 3, 1));
+        block_row(
+            &mut table,
+            format!("R50 bottleneck {w}x{h} c{cm}"),
+            &ConvShape::new(w, h, cm, cm, 3, 1),
+        );
     }
     for (w, h, ci, co) in table8_basic_shapes() {
-        block_row(&mut table, format!("R18 basic {w}x{h} c{ci}"), &ConvShape::new(w, h, ci, co, 3, 1));
+        block_row(
+            &mut table,
+            format!("R18 basic {w}x{h} c{ci}"),
+            &ConvShape::new(w, h, ci, co, 3, 1),
+        );
     }
     for (w, h, ci, co) in table9_vgg_shapes() {
-        block_row(&mut table, format!("VGG16 {w}x{h} c{ci}"), &ConvShape::new(w, h, ci, co, 3, 1));
+        block_row(
+            &mut table,
+            format!("VGG16 {w}x{h} c{ci}"),
+            &ConvShape::new(w, h, ci, co, 3, 1),
+        );
     }
     println!("{}", table.render());
     println!(

@@ -21,7 +21,9 @@ fn main() {
         for scheme in Scheme::ALL {
             let plan = plan_conv(&shape, scheme, true);
             let client = DeviceProfile::nexus6().with_capacity(cap, plan.ciphertext_bytes);
-            let t = simulate_conv(&plan, &SimConfig::with_client(client)).timing.total_s;
+            let t = simulate_conv(&plan, &SimConfig::with_client(client))
+                .timing
+                .total_s;
             row.push(secs(t));
         }
         table.row(&row);

@@ -34,7 +34,10 @@ fn main() {
         .timing
         .total_s;
         let mut row = vec![
-            format!("{} {} {} {}", shape.width, shape.height, shape.c_in, shape.c_out),
+            format!(
+                "{} {} {} {}",
+                shape.width, shape.height, shape.c_in, shape.c_out
+            ),
             secs(desktop),
         ];
         for cap in [3usize, 2, 1] {
@@ -42,7 +45,11 @@ fn main() {
             let t = simulate_conv(&plan, &SimConfig::with_client(client))
                 .timing
                 .total_s;
-            row.push(format!("{} (+{:.1}%)", secs(t), (t / desktop - 1.0) * 100.0));
+            row.push(format!(
+                "{} (+{:.1}%)",
+                secs(t),
+                (t / desktop - 1.0) * 100.0
+            ));
         }
         table.row(&row);
     }

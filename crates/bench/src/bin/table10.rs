@@ -9,7 +9,14 @@ use spot_pipeline::sim::SimConfig;
 use spot_tensor::models::{resnet101, resnet18, resnet34, resnet50, vgg11, vgg16, Network};
 
 fn main() {
-    let nets: Vec<Network> = vec![resnet101(), resnet50(), resnet34(), resnet18(), vgg11(), vgg16()];
+    let nets: Vec<Network> = vec![
+        resnet101(),
+        resnet50(),
+        resnet34(),
+        resnet18(),
+        vgg11(),
+        vgg16(),
+    ];
     let mut table = Table::new(
         "Table X — total execution time on ResNet and VGG",
         &[

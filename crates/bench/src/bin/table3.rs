@@ -26,7 +26,10 @@ fn main() {
         let total = t.client_he_s + t.server_he_s + t.relu_s;
         let pct = |v: f64| format!("{:.3}s ({:.0}%)", v, v / total * 100.0);
         table.row(&[
-            format!("{} {} {} {}", shape.width, shape.height, shape.c_in, shape.c_out),
+            format!(
+                "{} {} {} {}",
+                shape.width, shape.height, shape.c_in, shape.c_out
+            ),
             pct(t.client_he_s),
             pct(t.server_he_s),
             pct(t.relu_s),

@@ -10,7 +10,10 @@ use spot_pipeline::report::Table;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
-    eprintln!("calibrating HE costs ({}) ...", if full { "full" } else { "quick" });
+    eprintln!(
+        "calibrating HE costs ({}) ...",
+        if full { "full" } else { "quick" }
+    );
     let costs = calibrate_he_costs(!full);
     let paper = [
         (ParamLevel::N16384, 789_617u64, 0.0015),

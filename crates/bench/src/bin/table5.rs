@@ -44,7 +44,15 @@ fn main() {
 
     let mut table = Table::new(
         "Table V — complexity: formulas vs recorded operation counts (16x16, Ci=16, Co=32, k=3)",
-        &["Method", "Perm (formula)", "Perm (measured)", "SIMDMult (f)", "SIMDMult (m)", "Add (f)", "Add (m)"],
+        &[
+            "Method",
+            "Perm (formula)",
+            "Perm (measured)",
+            "SIMDMult (f)",
+            "SIMDMult (m)",
+            "Add (f)",
+            "Add (m)",
+        ],
     );
     table.row(&[
         "CrypTFlow2".into(),

@@ -8,7 +8,8 @@
 //! across input ciphertexts — the cross-ciphertext dependency that
 //! causes the linear computation stall on tiny clients.
 
-use crate::heconv::{ChannelMap, GroupSpec, HeConvEngine};
+use crate::executor::Executor;
+use crate::heconv::{ChannelMap, ConvRequest, GroupSpec, HeConvEngine};
 use crate::layout::{next_pow2, LaneLayout};
 use rand::Rng;
 use spot_he::ciphertext::Ciphertext;
@@ -139,8 +140,8 @@ fn group_spec(geo: &ChannelwiseGeometry, out_ct: usize, c_out: usize) -> GroupSp
     GroupSpec { out_ch }
 }
 
-/// Executes the channel-wise secure convolution end to end (functional
-/// path used by tests and small workloads).
+/// Executes the channel-wise secure convolution end to end on a single
+/// thread (functional path used by tests and small workloads).
 ///
 /// # Panics
 ///
@@ -152,6 +153,29 @@ pub fn execute<R: Rng>(
     input: &Tensor,
     kernel: &Kernel,
     stride: usize,
+    rng: &mut R,
+) -> SecureConvResult {
+    execute_with(ctx, keygen, input, kernel, stride, &Executor::serial(), rng)
+}
+
+/// Executes the channel-wise secure convolution with the per-input-
+/// ciphertext MIMO convolutions fanned across `executor`'s worker pool.
+///
+/// The cross-ciphertext partial sums are accumulated in input order on
+/// the calling thread, and all randomness stays sequential, so results
+/// are bit-identical for every thread count.
+///
+/// # Panics
+///
+/// Panics if the shape does not fit the level (see [`geometry`]) or the
+/// level does not support rotations.
+pub fn execute_with<R: Rng>(
+    ctx: &Arc<Context>,
+    keygen: &KeyGenerator,
+    input: &Tensor,
+    kernel: &Kernel,
+    stride: usize,
+    executor: &Executor,
     rng: &mut R,
 ) -> SecureConvResult {
     let shape = ConvShape {
@@ -210,23 +234,35 @@ pub fn execute<R: Rng>(
         .map(|k| group_spec(&geo, k, kernel.out_channels()))
         .collect();
     let mut out_cts: Vec<Option<Ciphertext>> = vec![None; geo.output_cts];
-    for (j, ct) in input_cts.iter().enumerate() {
+    // Parallel phase (pure): per-ciphertext MIMO convolutions.
+    let per_ct = executor.run(&input_cts, |j, ct| {
         let map = channel_map(&geo, j, input.channels());
         let mut in_maps = vec![map.clone()];
         if geo.both_lanes {
             // column-swapped version: lanes exchanged
             in_maps.push(vec![map[1].clone(), map[0].clone()]);
         }
+        let mut c = OpCounts::default();
         let partials = engine.conv_one_ct(
             ct,
-            &layout,
-            &in_maps,
-            &groups,
-            geo.blocks_per_lane,
-            &[],
-            kernel,
-            &mut counts,
+            &ConvRequest {
+                layout: &layout,
+                in_maps: &in_maps,
+                groups: &groups,
+                diagonals: geo.blocks_per_lane,
+                fold_steps: &[],
+                kernel,
+                // per-input-ct channel maps → distinct cache entries
+                cache_tag: j,
+            },
+            &mut c,
         );
+        (partials, c)
+    });
+    // Sequential cross-ciphertext accumulation, in input order exactly
+    // as a serial run would add the partials.
+    for (partials, c) in per_ct {
+        counts.merge(&c);
         for (k, p) in partials.into_iter().enumerate() {
             match &mut out_cts[k] {
                 None => out_cts[k] = Some(p),
@@ -340,7 +376,11 @@ pub fn plan(shape: &ConvShape, level: ParamLevel, with_relu: bool) -> ConvPlan {
         extra_downstream_bytes: 0,
         client_extra_s: 0.0,
         assembly_elements: 0,
-        relu_elements: if with_relu { shape.output_elements() } else { 0 },
+        relu_elements: if with_relu {
+            shape.output_elements()
+        } else {
+            0
+        },
         ciphertext_bytes: params.ciphertext_bytes(),
         useful_input_slots: (geo.channels_per_ct * shape.width * shape.height / fragments)
             .min(level.degree()),
@@ -443,7 +483,11 @@ mod tests {
         let input = Tensor::random(32, 16, 16, 4, 9);
         let kernel = Kernel::random(8, 32, 3, 3, 3, 10);
         let res = execute(&ctx, &kg, &input, &kernel, 1, &mut rng);
-        assert!(res.input_cts > 1, "want multi-ct input, got {}", res.input_cts);
+        assert!(
+            res.input_cts > 1,
+            "want multi-ct input, got {}",
+            res.input_cts
+        );
         assert_eq!(res.reconstruct(), conv2d(&input, &kernel, 1));
     }
 

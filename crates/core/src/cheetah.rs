@@ -23,6 +23,7 @@
 //! extracted LWE batch in the functional path).
 
 use crate::channelwise::SecureConvResult;
+use crate::executor::Executor;
 use rand::Rng;
 use spot_he::context::Context;
 use spot_he::encoding::Plaintext;
@@ -64,7 +65,7 @@ pub fn geometry(shape: &ConvShape, level: ParamLevel) -> CheetahGeometry {
     let hp = shape.height + shape.k_h - 1;
     let wp = shape.width + shape.k_w - 1;
     let s_ch = hp * wp;
-    let max_chunk = if s_ch > n { 0 } else { ((n / s_ch) + 1) / 2 };
+    let max_chunk = if s_ch > n { 0 } else { (n / s_ch).div_ceil(2) };
     let channels_per_ct = max_chunk.max(1).min(shape.c_in.max(1));
     let (input_cts, output_cts) = if max_chunk == 0 {
         // feature map larger than the ring: fragment (planning only)
@@ -81,7 +82,8 @@ pub fn geometry(shape: &ConvShape, level: ParamLevel) -> CheetahGeometry {
     }
 }
 
-/// Executes the Cheetah-style secure convolution (functional path).
+/// Executes the Cheetah-style secure convolution (functional path) on a
+/// single thread.
 ///
 /// # Panics
 ///
@@ -93,6 +95,29 @@ pub fn execute<R: Rng>(
     input: &Tensor,
     kernel: &Kernel,
     stride: usize,
+    rng: &mut R,
+) -> SecureConvResult {
+    execute_with(ctx, keygen, input, kernel, stride, &Executor::serial(), rng)
+}
+
+/// Executes the Cheetah-style secure convolution with the per-output-
+/// channel ring products fanned across `executor`'s worker pool.
+///
+/// Masking randomness is drawn sequentially in output-channel order on
+/// the calling thread, so results are bit-identical for every thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if the feature map does not fit the ring
+/// (`(H+k-1)(W+k-1) > N`); large maps are handled by the planner only.
+pub fn execute_with<R: Rng>(
+    ctx: &Arc<Context>,
+    keygen: &KeyGenerator,
+    input: &Tensor,
+    kernel: &Kernel,
+    stride: usize,
+    executor: &Executor,
     rng: &mut R,
 ) -> SecureConvResult {
     let shape = ConvShape {
@@ -150,7 +175,11 @@ pub fn execute<R: Rng>(
     let ow = shape.out_width();
     let mut client_share = Tensor::zeros(shape.c_out, oh, ow);
     let mut server_share = Tensor::zeros(shape.c_out, oh, ow);
-    for o in 0..shape.c_out {
+    // Parallel phase: the per-output-channel ring products consume no
+    // randomness, so they can run on any thread in any order.
+    let out_channels: Vec<usize> = (0..shape.c_out).collect();
+    let accumulated = executor.run(&out_channels, |_, &o| {
+        let mut c_local = OpCounts::default();
         let mut acc: Option<spot_he::ciphertext::Ciphertext> = None;
         for (ci_idx, chunk) in chunks.iter().enumerate() {
             let mut wcoeffs = vec![0u64; n];
@@ -167,16 +196,20 @@ pub fn execute<R: Rng>(
             }
             let prod =
                 evaluator.multiply_plain(&input_cts[ci_idx], &Plaintext::from_coeffs(wcoeffs));
-            counts.mult_plain += 1;
+            c_local.mult_plain += 1;
             match &mut acc {
                 None => acc = Some(prod),
                 Some(a) => {
                     evaluator.add_inplace(a, &prod);
-                    counts.add += 1;
+                    c_local.add += 1;
                 }
             }
         }
-        let out_ct = acc.expect("at least one chunk");
+        (acc.expect("at least one chunk"), c_local)
+    });
+    // Sequential phase: masking randomness in fixed output-channel order.
+    for (o, (out_ct, c_local)) in accumulated.into_iter().enumerate() {
+        counts.merge(&c_local);
         // mask and return (stands in for LWE extraction)
         let r: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t)).collect();
         let masked = evaluator.sub_plain(&out_ct, &Plaintext::from_coeffs(r.clone()));
@@ -258,10 +291,13 @@ pub fn plan(shape: &ConvShape, level: ParamLevel, with_relu: bool) -> ConvPlan {
         // client-side LWE decryption/processing per extracted element
         client_extra_s: out_elements as f64 * 1.2e-6,
         assembly_elements: out_elements,
-        relu_elements: if with_relu { shape.output_elements() } else { 0 },
+        relu_elements: if with_relu {
+            shape.output_elements()
+        } else {
+            0
+        },
         ciphertext_bytes: params.ciphertext_bytes(),
-        useful_input_slots: (geo.channels_per_ct * shape.width * shape.height)
-            .min(level.degree()),
+        useful_input_slots: (geo.channels_per_ct * shape.width * shape.height).min(level.degree()),
         // extraction leaves one useful value per LWE ciphertext — the
         // memory-utilization penalty of Fig. 11
         useful_output_slots: 1,

@@ -1,0 +1,191 @@
+//! Deterministic parallel executor for server-side convolution work.
+//!
+//! The per-ciphertext convolutions of every scheme ([`crate::spot`],
+//! [`crate::channelwise`], [`crate::cheetah`]) are independent: no job
+//! reads another's output and none touches the protocol randomness
+//! (masking happens on the sequential path). The executor fans those
+//! jobs across a pool of scoped worker threads pulling from a shared
+//! atomic work queue, and returns results **in job order** regardless
+//! of which worker finished when — so the produced ciphertexts, shares
+//! and operation counts are bit-identical for any thread count.
+
+use crossbeam::thread;
+use spot_pipeline::device::DeviceProfile;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-width worker pool executing independent jobs with
+/// deterministic output ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    threads: usize,
+}
+
+impl Default for Executor {
+    /// Defaults to one thread per available CPU.
+    fn default() -> Self {
+        Self::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    }
+}
+
+impl Executor {
+    /// An executor with the given worker count (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded executor: jobs run inline on the caller's
+    /// thread in order, with no pool at all.
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// An executor sized for a simulated device profile's core count.
+    pub fn for_device(profile: &DeviceProfile) -> Self {
+        Self::new(profile.threads)
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f(index, &item)` for every item and returns the results in
+    /// item order.
+    ///
+    /// With one worker (or ≤ 1 item) everything runs inline. Otherwise
+    /// workers race on an atomic cursor over the item list — dynamic
+    /// load balancing for jobs of uneven cost — and the collected
+    /// results are reassembled by index before returning. A panic in
+    /// any job is propagated to the caller after the scope joins.
+    pub fn run<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+        }
+        let workers = self.threads.min(items.len());
+        let cursor = AtomicUsize::new(0);
+        let result = thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let cursor = &cursor;
+                    let f = &f;
+                    s.spawn(move |_| {
+                        let mut done: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            done.push((i, f(i, &items[i])));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+            let mut panic = None;
+            for h in handles {
+                match h.join() {
+                    Ok(done) => {
+                        for (i, r) in done {
+                            slots[i] = Some(r);
+                        }
+                    }
+                    Err(payload) => panic = Some(payload),
+                }
+            }
+            if let Some(payload) = panic {
+                std::panic::resume_unwind(payload);
+            }
+            slots
+                .into_iter()
+                .map(|r| r.expect("every job produced a result"))
+                .collect::<Vec<R>>()
+        });
+        match result {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn results_are_in_job_order() {
+        for threads in [1usize, 2, 4, 8] {
+            let ex = Executor::new(threads);
+            let items: Vec<usize> = (0..100).collect();
+            let out = ex.run(&items, |i, &v| {
+                // uneven job cost to shuffle completion order
+                let spin = (v * 7919) % 97;
+                let mut acc = 0u64;
+                for k in 0..spin * 100 {
+                    acc = acc.wrapping_add(k as u64);
+                }
+                std::hint::black_box(acc);
+                i * 2 + v
+            });
+            assert_eq!(
+                out,
+                (0..100).map(|v| v * 3).collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let seen = Mutex::new(HashSet::new());
+        let items: Vec<usize> = (0..64).collect();
+        Executor::new(4).run(&items, |i, _| {
+            assert!(seen.lock().unwrap().insert(i), "job {i} ran twice");
+        });
+        assert_eq!(seen.into_inner().unwrap().len(), 64);
+    }
+
+    #[test]
+    fn thread_count_clamps_to_one() {
+        assert_eq!(Executor::new(0).threads(), 1);
+        assert_eq!(Executor::serial().threads(), 1);
+    }
+
+    #[test]
+    fn for_device_uses_profile_threads() {
+        let profile = DeviceProfile::server_epyc();
+        assert_eq!(Executor::for_device(&profile).threads(), profile.threads);
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let ex = Executor::new(8);
+        let empty: Vec<u32> = Vec::new();
+        assert!(ex.run(&empty, |_, &v| v).is_empty());
+        assert_eq!(ex.run(&[41u32], |_, &v| v + 1), vec![42]);
+    }
+
+    #[test]
+    #[should_panic(expected = "job 3 failed")]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..8).collect();
+        Executor::new(4).run(&items, |i, _| {
+            if i == 3 {
+                panic!("job 3 failed");
+            }
+        });
+    }
+}

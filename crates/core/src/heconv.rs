@@ -18,12 +18,15 @@
 //! `C_o < C_i` (Fig. 7 (b)).
 
 use crate::layout::LaneLayout;
+use parking_lot::RwLock;
 use spot_he::ciphertext::Ciphertext;
 use spot_he::context::Context;
 use spot_he::encoding::{galois_elt_column_swap, galois_elt_from_step, BatchEncoder};
 use spot_he::evaluator::{Evaluator, OpCounts};
 use spot_he::keys::{GaloisKeys, KeyGenerator};
+use spot_he::poly::Poly;
 use spot_tensor::tensor::Kernel;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Channel assignment for one ciphertext: `map[lane][block]` is the
@@ -38,6 +41,41 @@ pub struct GroupSpec {
     pub out_ch: Vec<Vec<Option<usize>>>,
 }
 
+/// Everything [`HeConvEngine::conv_one_ct`] needs to describe one
+/// layer's convolution besides the ciphertext itself. Borrowing the
+/// per-layer structures keeps the per-ciphertext call cheap and lets
+/// the same request be shared across executor worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvRequest<'a> {
+    /// The lane layout the ciphertext was packed with.
+    pub layout: &'a LaneLayout,
+    /// Channel maps per ciphertext version. One entry means both lanes
+    /// hold the same channels (patch packing); two entries trigger the
+    /// column-swapped cross-lane products (channel-wise).
+    pub in_maps: &'a [ChannelMap],
+    /// The output groups, one result ciphertext each.
+    pub groups: &'a [GroupSpec],
+    /// Number of block diagonals (`= blocks` when `C_o ≥ C_i`;
+    /// `= C_o_pad` with folding when `C_o < C_i`).
+    pub diagonals: usize,
+    /// Block-shift amounts folded into the result by rotate-and-add
+    /// after diagonal alignment (empty when `C_o ≥ C_i`).
+    pub fold_steps: &'a [usize],
+    /// The convolution kernel.
+    pub kernel: &'a Kernel,
+    /// Discriminates kernel-plaintext cache entries when one engine
+    /// serves several distinct `(in_maps, groups, kernel)` configurations
+    /// — channel-wise packing uses the input-ciphertext index here.
+    /// Requests with equal tags must be otherwise identical.
+    pub cache_tag: usize,
+}
+
+/// Cache key for one lifted kernel plaintext:
+/// `(cache_tag, version, group, diagonal, tap)`. The baby-step
+/// pre-rotation is a function of the diagonal under a fixed BSGS split,
+/// so it needs no key component of its own.
+type KernelKey = (usize, usize, usize, usize, usize);
+
 /// The engine: HE context plus the Galois keys a convolution needs.
 #[derive(Debug)]
 pub struct HeConvEngine {
@@ -49,6 +87,13 @@ pub struct HeConvEngine {
     /// (SPOT yes; the CrypTFlow2 baseline follows its published
     /// output-rotation algorithm without it).
     use_bsgs: bool,
+    /// Lazily populated NTT-domain kernel plaintexts: once a
+    /// `(tag, version, group, diagonal, tap)` combination has been
+    /// encoded and lifted, every later ciphertext through the same layer
+    /// multiplies against the cached `Poly` with zero encode/NTT work.
+    /// `None` records "this combination is all-zero, skip the multiply".
+    kernel_cache: RwLock<HashMap<KernelKey, Option<Arc<Poly>>>>,
+    cache_enabled: bool,
 }
 
 /// The kernel taps of a `k_h × k_w` window with "same" padding
@@ -75,8 +120,8 @@ pub fn bsgs_split(diagonals: usize, groups: usize, versions: usize, kk: usize) -
     let mut best = (1usize, usize::MAX);
     let mut b = 1usize;
     while b <= diagonals {
-        let cost = versions * (kk * b).saturating_sub(1)
-            + groups * (diagonals / b).saturating_sub(1);
+        let cost =
+            versions * (kk * b).saturating_sub(1) + groups * (diagonals / b).saturating_sub(1);
         if cost < best.1 {
             best = (b, cost);
         }
@@ -141,7 +186,26 @@ impl HeConvEngine {
             evaluator: Evaluator::new(ctx),
             galois,
             use_bsgs,
+            kernel_cache: RwLock::new(HashMap::new()),
+            cache_enabled: true,
         }
+    }
+
+    /// Enables or disables the NTT-domain kernel plaintext cache
+    /// (enabled by default; benchmarks use the disabled path to measure
+    /// the per-ciphertext encoding cost it removes). Disabling clears
+    /// any cached entries.
+    pub fn set_cache_enabled(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.kernel_cache.write().clear();
+        }
+    }
+
+    /// Number of kernel plaintext combinations cached so far (including
+    /// recorded all-zero combinations).
+    pub fn kernel_cache_len(&self) -> usize {
+        self.kernel_cache.read().len()
     }
 
     /// The HE context.
@@ -169,6 +233,7 @@ impl HeConvEngine {
     /// (the original and, for channel-wise packing, the column-swapped
     /// copy); version `v`'s plaintext uses `in_maps[v]`.
     #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::needless_range_loop)]
     fn kernel_plaintext(
         &self,
         layout: &LaneLayout,
@@ -188,7 +253,9 @@ impl HeConvEngine {
         let mut any = false;
         for lane in 0..2 {
             for b in 0..layout.blocks {
-                let Some(in_c) = in_map[lane][b] else { continue };
+                let Some(in_c) = in_map[lane][b] else {
+                    continue;
+                };
                 if in_c >= kernel.in_channels() {
                     continue;
                 }
@@ -230,35 +297,69 @@ impl HeConvEngine {
         }
     }
 
-    /// Runs the lane-MIMO convolution of one input ciphertext.
-    ///
-    /// * `in_maps`: channel maps per ciphertext version. One entry means
-    ///   both lanes hold the same channels (patch packing); two entries
-    ///   trigger the column-swapped cross-lane products (channel-wise).
-    /// * `groups`: the output groups, one result ciphertext each.
-    /// * `diagonals`: number of block diagonals (`= blocks` when
-    ///   `C_o ≥ C_i`; `= C_o_pad` with folding when `C_o < C_i`).
-    /// * `fold_steps`: block-shift amounts folded into the result by
-    ///   rotate-and-add after diagonal alignment (empty when `C_o ≥ C_i`).
+    /// Returns the lifted (NTT-domain) kernel plaintext for one
+    /// `(version, group, diagonal, tap)` combination, consulting the
+    /// cache when enabled. `None` means the combination is all-zero and
+    /// the multiply can be skipped entirely.
+    #[allow(clippy::too_many_arguments)]
+    fn lifted_kernel(
+        &self,
+        req: &ConvRequest<'_>,
+        vi: usize,
+        gi: usize,
+        d: usize,
+        pre: usize,
+        ti: usize,
+        dy: i64,
+        dx: i64,
+        kh: usize,
+        kw: usize,
+    ) -> Option<Arc<Poly>> {
+        let build = || {
+            self.kernel_plaintext(
+                req.layout,
+                &req.in_maps[vi],
+                &req.groups[gi],
+                d,
+                pre,
+                dy,
+                dx,
+                kh,
+                kw,
+                req.kernel,
+            )
+            .map(|pt| Arc::new(pt.lift(&self.ctx)))
+        };
+        if !self.cache_enabled {
+            return build();
+        }
+        let key: KernelKey = (req.cache_tag, vi, gi, d, ti);
+        if let Some(hit) = self.kernel_cache.read().get(&key) {
+            return hit.clone();
+        }
+        let entry = build();
+        self.kernel_cache.write().insert(key, entry.clone());
+        entry
+    }
+
+    /// Runs the lane-MIMO convolution of one input ciphertext (see
+    /// [`ConvRequest`] for the per-layer structure description).
     ///
     /// Returns one ciphertext per group. HE operations are recorded in
     /// `counts`.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::needless_range_loop)]
     pub fn conv_one_ct(
         &self,
         ct: &Ciphertext,
-        layout: &LaneLayout,
-        in_maps: &[ChannelMap],
-        groups: &[GroupSpec],
-        diagonals: usize,
-        fold_steps: &[usize],
-        kernel: &Kernel,
+        req: &ConvRequest<'_>,
         counts: &mut OpCounts,
     ) -> Vec<Ciphertext> {
+        let (layout, in_maps, groups) = (req.layout, req.in_maps, req.groups);
+        let (diagonals, fold_steps) = (req.diagonals, req.fold_steps);
         assert!(!in_maps.is_empty() && in_maps.len() <= 2);
         assert!(diagonals >= 1 && layout.blocks % diagonals == 0);
         let ev = &self.evaluator;
-        let taps = kernel_taps(kernel.k_h(), kernel.k_w());
+        let taps = kernel_taps(req.kernel.k_h(), req.kernel.k_w());
         let (baby, giants) = if self.use_bsgs {
             bsgs_split(diagonals, groups.len(), in_maps.len(), taps.len())
         } else {
@@ -304,7 +405,7 @@ impl HeConvEngine {
         }
 
         let mut outputs = Vec::with_capacity(groups.len());
-        for group in groups {
+        for (gi, _group) in groups.iter().enumerate() {
             let mut acc_total: Option<Ciphertext> = None;
             for j in 0..giants {
                 let mut acc_j: Option<Ciphertext> = None;
@@ -313,18 +414,18 @@ impl HeConvEngine {
                     if d >= diagonals {
                         break;
                     }
-                    for (vi, in_map) in in_maps.iter().enumerate() {
+                    for vi in 0..in_maps.len() {
                         for (ti, &(dy, dx, kh, kw)) in taps.iter().enumerate() {
                             // plaintext for diagonal d, pre-rotated left
                             // by b blocks so the single giant rotation
                             // completes the alignment
                             let pre = b * layout.groups * layout.piece_slots;
-                            let Some(pt) = self.kernel_plaintext(
-                                layout, in_map, group, d, pre, dy, dx, kh, kw, kernel,
-                            ) else {
+                            let Some(lifted) =
+                                self.lifted_kernel(req, vi, gi, d, pre, ti, dy, dx, kh, kw)
+                            else {
                                 continue;
                             };
-                            let prod = ev.multiply_plain(&rotated[vi][ti][b], &pt);
+                            let prod = ev.multiply_lifted(&rotated[vi][ti][b], &lifted);
                             counts.mult_plain += 1;
                             match &mut acc_j {
                                 None => acc_j = Some(prod),
@@ -338,11 +439,8 @@ impl HeConvEngine {
                 }
                 let Some(mut acc_j) = acc_j else { continue };
                 if j > 0 {
-                    acc_j = ev.rotate_rows(
-                        &acc_j,
-                        layout.block_rotation_step(j * baby),
-                        &self.galois,
-                    );
+                    acc_j =
+                        ev.rotate_rows(&acc_j, layout.block_rotation_step(j * baby), &self.galois);
                     counts.rotate += 1;
                 }
                 match &mut acc_total {
@@ -356,8 +454,7 @@ impl HeConvEngine {
             let mut out = acc_total.unwrap_or_else(|| {
                 // All-zero kernel for this group: a zero ciphertext is a
                 // multiply of the input by an all-zero plaintext.
-                let zero =
-                    self.encoder.encode(&vec![0u64; self.ctx.degree()]);
+                let zero = self.encoder.encode(&vec![0u64; self.ctx.degree()]);
                 counts.mult_plain += 1;
                 ev.multiply_plain(ct, &zero)
             });
@@ -398,8 +495,7 @@ mod tests {
                     assert_eq!(baby * giants, d, "split must cover all diagonals");
                     // cost of the chosen split is minimal over all pow2 splits
                     let cost = |b: usize| {
-                        versions * (9 * b).saturating_sub(1)
-                            + groups * (d / b).saturating_sub(1)
+                        versions * (9 * b).saturating_sub(1) + groups * (d / b).saturating_sub(1)
                     };
                     let chosen = cost(baby);
                     let mut b = 1;

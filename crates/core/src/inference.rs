@@ -79,8 +79,7 @@ pub fn plan_conv(shape: &ConvShape, scheme: Scheme, with_relu: bool) -> ConvPlan
                         .into_iter()
                         .filter(|l| l.supports_rotation())
                         .find(|l| {
-                            crate::layout::next_pow2(shape.width * shape.height)
-                                <= l.degree() / 2
+                            crate::layout::next_pow2(shape.width * shape.height) <= l.degree() / 2
                         })
                         .unwrap_or(ParamLevel::N16384);
                     let mut p = channelwise::plan(shape, level, with_relu);
@@ -344,10 +343,7 @@ mod tests {
         let cw = plan_network(&net, Scheme::CrypTFlow2);
         let sp = plan_network(&net, Scheme::Spot);
         let avg_level = |p: &NetworkPlan| {
-            p.conv_plans
-                .iter()
-                .map(|c| c.level.degree())
-                .sum::<usize>() as f64
+            p.conv_plans.iter().map(|c| c.level.degree()).sum::<usize>() as f64
                 / p.conv_plans.len() as f64
         };
         assert!(avg_level(&sp) < avg_level(&cw));

@@ -193,7 +193,6 @@ pub fn unpack_pieces(
     out
 }
 
-
 /// Packs pieces with each piece's channels **split across both lanes**:
 /// channel `c` goes to lane `c / blocks`, block `c % blocks`, so a piece
 /// may span `2·blocks` channels and each ciphertext carries

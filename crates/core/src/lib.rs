@@ -20,6 +20,7 @@ pub mod batch;
 pub mod channelwise;
 pub mod cheetah;
 pub mod complexity;
+pub mod executor;
 pub mod heconv;
 pub mod inference;
 pub mod layout;

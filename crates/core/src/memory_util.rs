@@ -37,7 +37,13 @@ mod tests {
         let shape = ConvShape::new(14, 14, 256, 256, 3, 1);
         let cw = channelwise::plan(&shape, channelwise::minimum_level(&shape), false);
         let choice = select::best_level(&shape, PatchMode::Tweaked).unwrap();
-        let sp = spot::plan(&shape, choice.level, choice.patch, PatchMode::Tweaked, false);
+        let sp = spot::plan(
+            &shape,
+            choice.level,
+            choice.patch,
+            PatchMode::Tweaked,
+            false,
+        );
         let cw_v = in_memory_values_per_mb(&cw);
         let sp_v = in_memory_values_per_mb(&sp);
         assert!(
@@ -62,7 +68,13 @@ mod tests {
         let cw = channelwise::plan(&shape, channelwise::minimum_level(&shape), false);
         let ch = cheetah::plan(&shape, cheetah::minimum_level(&shape), false);
         let choice = select::best_level(&shape, PatchMode::Tweaked).unwrap();
-        let sp = spot::plan(&shape, choice.level, choice.patch, PatchMode::Tweaked, false);
+        let sp = spot::plan(
+            &shape,
+            choice.level,
+            choice.patch,
+            PatchMode::Tweaked,
+            false,
+        );
         for p in [&cw, &ch, &sp] {
             assert!(in_memory_values_per_mb(p) > 0.0, "{}", p.scheme);
         }

@@ -21,8 +21,8 @@
 //! reference the HE pipeline is tested against.
 
 use crate::layout::Piece;
-use spot_tensor::tensor::{Kernel, Tensor};
 use spot_tensor::conv::conv2d_full_positions;
+use spot_tensor::tensor::{Kernel, Tensor};
 
 /// Patch decomposition mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -31,15 +31,19 @@ pub struct PatchChoice {
 /// `slots` is `N/2` for this implementation's lane-contained pieces, or
 /// `N` to reproduce the paper's Table VI numbers (which treat the whole
 /// ciphertext as one slot vector).
-pub fn select_patch_with_slots(shape: &ConvShape, slots: usize, mode: PatchMode) -> Option<(usize, usize)> {
+pub fn select_patch_with_slots(
+    shape: &ConvShape,
+    slots: usize,
+    mode: PatchMode,
+) -> Option<(usize, usize)> {
     let v = overlap_for(mode, shape.k_h.max(shape.k_w));
     let ci_pad = next_pow2(shape.c_in);
     if ci_pad > slots {
         return None;
     }
     let budget = (slots / ci_pad).max(1); // power of two
-    // Patch must strictly exceed the overlap in both dims and not exceed
-    // the (padded) feature map.
+                                          // Patch must strictly exceed the overlap in both dims and not exceed
+                                          // the (padded) feature map.
     let max_h = next_pow2(shape.height);
     let max_w = next_pow2(shape.width);
     let area = budget.min(max_h * max_w);
@@ -175,7 +179,10 @@ mod tests {
         let tweaked = select_patch_with_slots(&s, 2048, PatchMode::Tweaked);
         let vanilla = select_patch_with_slots(&s, 2048, PatchMode::Vanilla);
         assert!(tweaked.is_some());
-        assert_eq!(vanilla, None, "vanilla cannot fit 512 channels at 2048 slots");
+        assert_eq!(
+            vanilla, None,
+            "vanilla cannot fit 512 channels at 2048 slots"
+        );
     }
 
     #[test]

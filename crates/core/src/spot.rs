@@ -17,8 +17,11 @@
 //! partial sums folded with `log2(C_i/C_o)` rotate-and-add steps.
 
 use crate::channelwise::SecureConvResult;
-use crate::heconv::{ChannelMap, GroupSpec, HeConvEngine};
-use crate::layout::{next_pow2, pack_pieces, pack_pieces_split, unpack_pieces, unpack_pieces_split, LaneLayout};
+use crate::executor::Executor;
+use crate::heconv::{ChannelMap, ConvRequest, GroupSpec, HeConvEngine};
+use crate::layout::{
+    next_pow2, pack_pieces, pack_pieces_split, unpack_pieces, unpack_pieces_split, LaneLayout,
+};
 use crate::patching::{decompose, PatchMode};
 use rand::Rng;
 use spot_he::context::Context;
@@ -89,7 +92,9 @@ pub fn blocking(c_in: usize, c_out: usize) -> Blocking {
     }
 }
 
-fn spot_group_specs(blk: &Blocking, c_out: usize) -> Vec<GroupSpec> {
+/// Builds the output-group specs for a blocking (one per result
+/// ciphertext), mapping lane blocks to output channels per Fig. 7.
+pub fn spot_group_specs(blk: &Blocking, c_out: usize) -> Vec<GroupSpec> {
     let b_lane = blk.lane_blocks;
     let mut groups = Vec::with_capacity(blk.out_groups);
     for g in 0..blk.out_groups {
@@ -116,7 +121,10 @@ fn spot_group_specs(blk: &Blocking, c_out: usize) -> Vec<GroupSpec> {
     groups
 }
 
-fn spot_in_maps(blk: &Blocking, c_in: usize) -> Vec<ChannelMap> {
+/// Builds the input channel maps for a blocking: the channel-major lane
+/// assignment, plus its lane-swapped twin when channels split across
+/// lanes.
+pub fn spot_in_maps(blk: &Blocking, c_in: usize) -> Vec<ChannelMap> {
     let b_lane = blk.lane_blocks;
     let mut map = vec![vec![None; b_lane]; 2];
     for (lane, row) in map.iter_mut().enumerate() {
@@ -138,7 +146,7 @@ fn spot_in_maps(blk: &Blocking, c_in: usize) -> Vec<ChannelMap> {
     }
 }
 
-/// Executes the SPOT secure convolution end to end.
+/// Executes the SPOT secure convolution end to end on a single thread.
 ///
 /// `patch` is the main patch size `(ph, pw)` (see [`crate::select`] for
 /// the Table VI selection); `mode` picks vanilla patching or overlap
@@ -157,6 +165,43 @@ pub fn execute<R: Rng>(
     stride: usize,
     patch: (usize, usize),
     mode: PatchMode,
+    rng: &mut R,
+) -> SecureConvResult {
+    execute_with(
+        ctx,
+        keygen,
+        input,
+        kernel,
+        stride,
+        patch,
+        mode,
+        &Executor::serial(),
+        rng,
+    )
+}
+
+/// Executes the SPOT secure convolution with the server-side
+/// per-ciphertext convolutions fanned across `executor`'s worker pool.
+///
+/// All randomness (encryption and masking) is drawn on the calling
+/// thread in a fixed order, and the parallel phase is pure, so the
+/// result — shares, counts and all — is bit-identical for every thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if a piece does not fit a lane
+/// (`C_i_pad · next_pow2(ph·pw) > N/2`) or the level has no rotations.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_with<R: Rng>(
+    ctx: &Arc<Context>,
+    keygen: &KeyGenerator,
+    input: &Tensor,
+    kernel: &Kernel,
+    stride: usize,
+    patch: (usize, usize),
+    mode: PatchMode,
+    executor: &Executor,
     rng: &mut R,
 ) -> SecureConvResult {
     let t = ctx.params().plain_modulus();
@@ -199,19 +244,35 @@ pub fn execute<R: Rng>(
         input_ct_count += packed.len();
         let mut group_slots: Vec<Vec<Vec<u64>>> = vec![Vec::new(); groups.len()];
         let mut group_server: Vec<Vec<Vec<u64>>> = vec![Vec::new(); groups.len()];
-        for slots in &packed {
-            let ct = encryptor.encrypt(&engine.encoder().encode(slots), rng);
-            counts.encrypt += 1;
-            let outs = engine.conv_one_ct(
-                &ct,
-                &layout,
-                &in_maps,
-                &groups,
-                blk.diagonals,
-                &blk.fold_steps,
-                kernel,
-                &mut counts,
-            );
+        // Client phase (sequential, consumes rng): encrypt every packed
+        // ciphertext of the class.
+        let cts: Vec<_> = packed
+            .iter()
+            .map(|slots| {
+                counts.encrypt += 1;
+                encryptor.encrypt(&engine.encoder().encode(slots), rng)
+            })
+            .collect();
+        // Server phase (parallel, pure): convolve each ciphertext
+        // independently; workers tally their own op counts.
+        let req = ConvRequest {
+            layout: &layout,
+            in_maps: &in_maps,
+            groups: &groups,
+            diagonals: blk.diagonals,
+            fold_steps: &blk.fold_steps,
+            kernel,
+            cache_tag: 0,
+        };
+        let convolved = executor.run(&cts, |_, ct| {
+            let mut c = OpCounts::default();
+            let outs = engine.conv_one_ct(ct, &req, &mut c);
+            (outs, c)
+        });
+        // Mask/decrypt phase (sequential, consumes rng) in ciphertext
+        // order, exactly as a serial run would.
+        for (outs, c) in convolved {
+            counts.merge(&c);
             output_ct_count += outs.len();
             for (g, out_ct) in outs.into_iter().enumerate() {
                 let r: Vec<u64> = (0..ctx.degree()).map(|_| rng.gen_range(0..t)).collect();
@@ -271,8 +332,10 @@ pub fn execute<R: Rng>(
     }
 
     // Client-side (and symmetric server-side) share assembly (Fig. 10).
-    let client_full = crate::patching::assemble(&decomp, &client_pieces, input.height(), input.width());
-    let server_full = crate::patching::assemble(&decomp, &server_pieces, input.height(), input.width());
+    let client_full =
+        crate::patching::assemble(&decomp, &client_pieces, input.height(), input.width());
+    let server_full =
+        crate::patching::assemble(&decomp, &server_pieces, input.height(), input.width());
 
     // Stride extraction.
     let oh = input.height().div_ceil(stride);
@@ -404,7 +467,11 @@ pub fn plan(
         extra_downstream_bytes: 0,
         client_extra_s: 0.0,
         assembly_elements: assembly,
-        relu_elements: if with_relu { shape.output_elements() } else { 0 },
+        relu_elements: if with_relu {
+            shape.output_elements()
+        } else {
+            0
+        },
         ciphertext_bytes: params.ciphertext_bytes(),
         useful_input_slots: geo.useful_input_slots,
         useful_output_slots: geo.useful_input_slots,
@@ -456,7 +523,16 @@ mod tests {
         let kg = KeyGenerator::new(&ctx, &mut rng);
         let input = Tensor::random(4, 8, 8, 8, 11);
         let kernel = Kernel::random(4, 4, 3, 3, 4, 12);
-        let res = execute(&ctx, &kg, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng);
+        let res = execute(
+            &ctx,
+            &kg,
+            &input,
+            &kernel,
+            1,
+            (4, 4),
+            PatchMode::Tweaked,
+            &mut rng,
+        );
         assert_eq!(res.reconstruct(), conv2d(&input, &kernel, 1));
     }
 
@@ -467,7 +543,16 @@ mod tests {
         let kg = KeyGenerator::new(&ctx, &mut rng);
         let input = Tensor::random(2, 8, 8, 8, 21);
         let kernel = Kernel::random(8, 2, 3, 3, 4, 22);
-        let res = execute(&ctx, &kg, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng);
+        let res = execute(
+            &ctx,
+            &kg,
+            &input,
+            &kernel,
+            1,
+            (4, 4),
+            PatchMode::Tweaked,
+            &mut rng,
+        );
         assert_eq!(res.reconstruct(), conv2d(&input, &kernel, 1));
     }
 
@@ -478,7 +563,16 @@ mod tests {
         let kg = KeyGenerator::new(&ctx, &mut rng);
         let input = Tensor::random(8, 8, 8, 8, 31);
         let kernel = Kernel::random(2, 8, 3, 3, 4, 32);
-        let res = execute(&ctx, &kg, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng);
+        let res = execute(
+            &ctx,
+            &kg,
+            &input,
+            &kernel,
+            1,
+            (4, 4),
+            PatchMode::Tweaked,
+            &mut rng,
+        );
         assert_eq!(res.reconstruct(), conv2d(&input, &kernel, 1));
     }
 
@@ -489,7 +583,16 @@ mod tests {
         let kg = KeyGenerator::new(&ctx, &mut rng);
         let input = Tensor::random(4, 8, 8, 8, 41);
         let kernel = Kernel::random(8, 4, 1, 1, 4, 42);
-        let res = execute(&ctx, &kg, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng);
+        let res = execute(
+            &ctx,
+            &kg,
+            &input,
+            &kernel,
+            1,
+            (4, 4),
+            PatchMode::Tweaked,
+            &mut rng,
+        );
         assert_eq!(res.reconstruct(), conv2d(&input, &kernel, 1));
     }
 
@@ -500,7 +603,16 @@ mod tests {
         let kg = KeyGenerator::new(&ctx, &mut rng);
         let input = Tensor::random(2, 8, 8, 8, 51);
         let kernel = Kernel::random(2, 2, 3, 3, 4, 52);
-        let res = execute(&ctx, &kg, &input, &kernel, 1, (4, 4), PatchMode::Vanilla, &mut rng);
+        let res = execute(
+            &ctx,
+            &kg,
+            &input,
+            &kernel,
+            1,
+            (4, 4),
+            PatchMode::Vanilla,
+            &mut rng,
+        );
         assert_eq!(res.reconstruct(), conv2d(&input, &kernel, 1));
     }
 
@@ -511,7 +623,16 @@ mod tests {
         let kg = KeyGenerator::new(&ctx, &mut rng);
         let input = Tensor::random(2, 8, 8, 8, 61);
         let kernel = Kernel::random(2, 2, 3, 3, 4, 62);
-        let res = execute(&ctx, &kg, &input, &kernel, 2, (4, 4), PatchMode::Tweaked, &mut rng);
+        let res = execute(
+            &ctx,
+            &kg,
+            &input,
+            &kernel,
+            2,
+            (4, 4),
+            PatchMode::Tweaked,
+            &mut rng,
+        );
         assert_eq!(res.reconstruct(), conv2d(&input, &kernel, 2));
     }
 

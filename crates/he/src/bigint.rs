@@ -55,7 +55,11 @@ impl BigUint {
             return 0.0;
         }
         let hi = self.limbs[n - 1] as f64;
-        let next = if n >= 2 { self.limbs[n - 2] as f64 } else { 0.0 };
+        let next = if n >= 2 {
+            self.limbs[n - 2] as f64
+        } else {
+            0.0
+        };
         ((n - 1) as f64 - 1.0) * 64.0 + (hi * 2f64.powi(64) + next).log2()
     }
 
@@ -295,7 +299,12 @@ mod tests {
     #[test]
     fn shl_is_mul_by_power_of_two() {
         let a = BigUint::from_u64(0xABCD);
-        assert_eq!(a.shl(64), BigUint { limbs: vec![0, 0xABCD] });
+        assert_eq!(
+            a.shl(64),
+            BigUint {
+                limbs: vec![0, 0xABCD]
+            }
+        );
         assert_eq!(a.shl(4), BigUint::from_u64(0xABCD0));
     }
 

@@ -43,9 +43,14 @@ fn bit_reverse(x: usize, bits: u32) -> usize {
 
 impl Context {
     /// Builds the context for the given parameters.
+    #[allow(clippy::needless_range_loop)]
     pub fn new(params: EncryptionParams) -> Arc<Self> {
         let n = params.degree();
-        let moduli: Vec<Modulus> = params.coeff_moduli().iter().map(|&q| Modulus::new(q)).collect();
+        let moduli: Vec<Modulus> = params
+            .coeff_moduli()
+            .iter()
+            .map(|&q| Modulus::new(q))
+            .collect();
         let ntt_tables: Vec<NttTables> = params
             .coeff_moduli()
             .iter()
@@ -63,7 +68,11 @@ impl Context {
 
         // delta = floor(q / t)
         let (delta, _) = q_big.div_rem(&BigUint::from_u64(params.plain_modulus()));
-        let delta_mod_qi: Vec<u64> = params.coeff_moduli().iter().map(|&q| delta.rem_u64(q)).collect();
+        let delta_mod_qi: Vec<u64> = params
+            .coeff_moduli()
+            .iter()
+            .map(|&q| delta.rem_u64(q))
+            .collect();
 
         // CRT constants
         let k = moduli.len();
@@ -242,9 +251,7 @@ mod tests {
         let t = ctx.params().plain_modulus();
         // delta = floor(q/t) => q - delta*t < t. Verify via first modulus residue
         // of delta: reconstruct delta from its residues (it fits the CRT range).
-        let (delta, neg) = ctx.crt_lift_centered(
-            &ctx.delta_mod_qi().to_vec(),
-        );
+        let (delta, neg) = ctx.crt_lift_centered(ctx.delta_mod_qi());
         // delta is huge (about q/t ~ 2^89) and positive when centered? It is
         // less than q/2, so not negative.
         assert!(!neg);

@@ -75,7 +75,9 @@ pub struct BatchEncoder {
 impl BatchEncoder {
     /// Creates an encoder bound to a context.
     pub fn new(ctx: &Arc<Context>) -> Self {
-        Self { ctx: Arc::clone(ctx) }
+        Self {
+            ctx: Arc::clone(ctx),
+        }
     }
 
     /// Number of SIMD slots (`N`).
@@ -102,7 +104,10 @@ impl BatchEncoder {
         let map = self.ctx.slot_index_map();
         let mut m = vec![0u64; n];
         for (i, &v) in values.iter().enumerate() {
-            assert!(v < t, "slot value {v} out of range for plaintext modulus {t}");
+            assert!(
+                v < t,
+                "slot value {v} out of range for plaintext modulus {t}"
+            );
             m[map[i]] = v;
         }
         // Values currently sit in NTT-evaluation order; inverse transform
@@ -121,10 +126,7 @@ impl BatchEncoder {
         let mapped: Vec<u64> = values
             .iter()
             .map(|&v| {
-                assert!(
-                    (v.unsigned_abs()) < t / 2,
-                    "signed value {v} out of range"
-                );
+                assert!((v.unsigned_abs()) < t / 2, "signed value {v} out of range");
                 if v >= 0 {
                     v as u64
                 } else {
@@ -159,7 +161,6 @@ impl BatchEncoder {
             })
             .collect()
     }
-
 }
 
 /// Returns the Galois element implementing a row rotation by `steps`
@@ -170,7 +171,10 @@ impl BatchEncoder {
 /// Panics if `|steps| >= n/2` or `steps == 0`.
 pub fn galois_elt_from_step(steps: i64, n: usize) -> usize {
     let row = (n / 2) as i64;
-    assert!(steps != 0 && steps.abs() < row, "rotation step out of range");
+    assert!(
+        steps != 0 && steps.abs() < row,
+        "rotation step out of range"
+    );
     let s = steps.rem_euclid(row) as u64; // negative k => row - |k|
     let two_n = 2 * n;
     // 3^s mod 2n
@@ -218,6 +222,7 @@ pub fn swap_rows_reference(slots: &[u64]) -> Vec<u64> {
 
 /// Applies a Galois automorphism to a `Plaintext` (over `Z_t`) — used by
 /// tests to verify slot-rotation semantics without encryption.
+#[allow(clippy::needless_range_loop)]
 pub fn apply_galois_plain(ctx: &Arc<Context>, pt: &Plaintext, g: usize) -> Plaintext {
     let n = ctx.degree();
     let two_n = 2 * n;
@@ -251,7 +256,9 @@ mod tests {
     fn encode_decode_roundtrip() {
         let (ctx, enc) = setup();
         let t = ctx.params().plain_modulus();
-        let values: Vec<u64> = (0..enc.slot_count() as u64).map(|i| (i * 31 + 7) % t).collect();
+        let values: Vec<u64> = (0..enc.slot_count() as u64)
+            .map(|i| (i * 31 + 7) % t)
+            .collect();
         let pt = enc.encode(&values);
         assert_eq!(enc.decode(&pt), values);
     }

@@ -121,6 +121,7 @@ impl Decryptor {
     }
 
     /// Decrypts a ciphertext.
+    #[allow(clippy::needless_range_loop)]
     pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
         let ctx = &self.ctx;
         let n = ctx.degree();
@@ -147,6 +148,7 @@ impl Decryptor {
     /// The invariant noise budget in bits, SEAL-style: the number of bits
     /// of headroom before noise would corrupt decryption. Returns 0 when
     /// the ciphertext is no longer decryptable.
+    #[allow(clippy::needless_range_loop)]
     pub fn noise_budget(&self, ct: &Ciphertext) -> u32 {
         let ctx = &self.ctx;
         let n = ctx.degree();

@@ -48,6 +48,19 @@ pub struct OpCounts {
     pub decrypt: u64,
 }
 
+impl OpCounts {
+    /// Adds another tally into this one (all fields are commutative
+    /// sums, so merge order never affects the result — parallel workers
+    /// can tally privately and merge afterwards).
+    pub fn merge(&mut self, other: &OpCounts) {
+        self.add += other.add;
+        self.mult_plain += other.mult_plain;
+        self.rotate += other.rotate;
+        self.encrypt += other.encrypt;
+        self.decrypt += other.decrypt;
+    }
+}
+
 impl OpSink for OpCounts {
     fn record(&mut self, op: HeOp) {
         match op {
@@ -73,7 +86,9 @@ pub struct Evaluator {
 impl Evaluator {
     /// Creates an evaluator for a context.
     pub fn new(ctx: &Arc<Context>) -> Self {
-        Self { ctx: Arc::clone(ctx) }
+        Self {
+            ctx: Arc::clone(ctx),
+        }
     }
 
     /// `a + b`.
@@ -138,32 +153,41 @@ impl Evaluator {
 
     /// Key-switches `(c0, c1_auto)` where `c1_auto` decrypts under `s'`
     /// back to the canonical secret key, using RNS digit decomposition.
+    ///
+    /// Hot path: one scratch digit polynomial is reused across all `k`
+    /// digits, residue rows are copied verbatim when the source modulus
+    /// already bounds them (only larger digits pay a Barrett reduction),
+    /// and the `digit * ksk` products accumulate through the fused
+    /// [`Poly::add_mul_assign_ntt`] — no per-digit allocation or clone.
     fn key_switch(&self, c0: Poly, mut c1: Poly, ksk: &KeySwitchKey) -> Ciphertext {
         let ctx = &self.ctx;
-        let n = ctx.degree();
         let k = ctx.moduli_count();
         c1.to_coeff();
         let mut acc0 = c0;
         acc0.to_ntt();
         let mut acc1 = Poly::zero(ctx, PolyForm::Ntt);
+        let mut digit = Poly::zero(ctx, PolyForm::Coeff);
         for i in 0..k {
             // Digit i: residues of c1 mod q_i, lifted to every modulus.
-            let digit_src: Vec<u64> = c1.residues(i).to_vec();
-            let mut data = vec![0u64; k * n];
+            let q_i = ctx.moduli()[i].value();
             for (j, m) in ctx.moduli().iter().enumerate() {
-                for (jj, &v) in digit_src.iter().enumerate() {
-                    data[j * n + jj] = m.reduce(v);
+                let src = c1.residues(i);
+                let dst = digit.residues_mut(j);
+                if q_i <= m.value() {
+                    // Residues mod q_i are already reduced mod the
+                    // (equal or larger) target modulus.
+                    dst.copy_from_slice(src);
+                } else {
+                    for (d, &v) in dst.iter_mut().zip(src) {
+                        *d = m.reduce(v);
+                    }
                 }
             }
-            let mut digit = Poly::from_residues(ctx, data, PolyForm::Coeff);
+            digit.reinterpret_form(PolyForm::Coeff);
             digit.to_ntt();
             let (b_i, a_i) = &ksk.pairs[i];
-            let mut t0 = digit.clone();
-            t0.mul_assign_ntt(b_i);
-            acc0.add_assign(&t0);
-            let mut t1 = digit;
-            t1.mul_assign_ntt(a_i);
-            acc1.add_assign(&t1);
+            acc0.add_mul_assign_ntt(&digit, b_i);
+            acc1.add_mul_assign_ntt(&digit, a_i);
         }
         Ciphertext { c0: acc0, c1: acc1 }
     }

@@ -232,7 +232,9 @@ mod tests {
         check.to_coeff();
         // every coefficient small when centered
         for j in 0..ctx.degree() {
-            let residues: Vec<u64> = (0..ctx.moduli_count()).map(|i| check.residues(i)[j]).collect();
+            let residues: Vec<u64> = (0..ctx.moduli_count())
+                .map(|i| check.residues(i)[j])
+                .collect();
             let (mag, _) = ctx.crt_lift_centered(&residues);
             assert!(mag.bits() <= 6, "error coefficient too large: {mag}");
         }

@@ -153,16 +153,30 @@ impl Modulus {
 
     /// Multiplies `x` by a constant `operand` given its Shoup precomputation.
     ///
-    /// Result is in `[0, 2m)` unless `reduce` is applied; we fully reduce here.
+    /// Fully reduced: result is in `[0, m)`.
     #[inline(always)]
     pub fn mul_shoup(&self, x: u64, operand: u64, operand_shoup: u64) -> u64 {
-        let q = ((x as u128 * operand_shoup as u128) >> 64) as u64;
-        let r = (x.wrapping_mul(operand)).wrapping_sub(q.wrapping_mul(self.value));
+        let r = self.mul_shoup_lazy(x, operand, operand_shoup);
         if r >= self.value {
             r - self.value
         } else {
             r
         }
+    }
+
+    /// Lazy Shoup multiplication: skips the final conditional subtraction,
+    /// returning a value in `[0, 2m)`.
+    ///
+    /// Valid for *any* 64-bit `x` (not just reduced inputs) as long as
+    /// `operand < m`: the quotient estimate `q = floor(x * shoup / 2^64)`
+    /// is off by at most one, so `x*operand - q*m` lands in `[0, 2m)`,
+    /// which fits in 64 bits because `m < 2^62`. This is the workhorse of
+    /// the lazy-reduction NTT butterflies.
+    #[inline(always)]
+    pub fn mul_shoup_lazy(&self, x: u64, operand: u64, operand_shoup: u64) -> u64 {
+        let q = ((x as u128 * operand_shoup as u128) >> 64) as u64;
+        x.wrapping_mul(operand)
+            .wrapping_sub(q.wrapping_mul(self.value))
     }
 }
 
@@ -172,9 +186,9 @@ mod tests {
 
     #[test]
     fn barrett_matches_naive() {
-        let m = Modulus::new(0x3FFF_FFFF_FFFF_F001 % (1 << 61) | 1);
+        let m = Modulus::new((0x3FFF_FFFF_FFFF_F001 % (1 << 61)) | 1);
         // use a few fixed primes instead
-        for &p in &[65537u64, 1032193, 0x1FFF_FFFF_FFE0_0001 % (1 << 61) | 5] {
+        for &p in &[65537u64, 1032193, 0x1FFF_FFFF_FFE0_0001 | 5] {
             let m = Modulus::new(p | 1);
             for i in 0..1000u64 {
                 let a = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -213,6 +227,21 @@ mod tests {
         let cs = m.shoup(c);
         for x in (0..m.value()).step_by(9871) {
             assert_eq!(m.mul_shoup(x, c, cs), m.mul(x, c));
+        }
+    }
+
+    #[test]
+    fn shoup_lazy_congruent_and_bounded_for_unreduced_inputs() {
+        let m = Modulus::new(1032193);
+        let c = 777_777 % m.value();
+        let cs = m.shoup(c);
+        // x ranges far beyond [0, m): lazy result must stay in [0, 2m)
+        // and agree with the exact product modulo m.
+        for i in 0..5000u64 {
+            let x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let r = m.mul_shoup_lazy(x, c, cs);
+            assert!(r < 2 * m.value(), "lazy result out of [0, 2m): {r}");
+            assert_eq!(m.reduce(r), m.reduce_u128(x as u128 * c as u128));
         }
     }
 

@@ -96,33 +96,65 @@ impl NttTables {
     /// In-place forward negacyclic NTT (coefficients -> evaluations, in
     /// bit-reversed evaluation order).
     ///
+    /// Uses SEAL-style lazy reduction (Longa–Naehrig): butterfly values
+    /// are kept in `[0, 4p)` throughout the stages — each butterfly does
+    /// one conditional subtraction of `2p` plus a lazy Shoup multiply in
+    /// `[0, 2p)` — and a single reduction pass at the end maps the array
+    /// back to `[0, p)`. This trades the two conditional corrections per
+    /// butterfly of the textbook form for roughly half that, which is
+    /// where most of the transform time goes.
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != degree`.
     pub fn forward(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.degree);
         let m = &self.modulus;
+        let p = m.value();
+        let two_p = 2 * p;
         let n = self.degree;
         let mut t = n;
         let mut size = 1usize;
         while size < n {
             t >>= 1;
+            let roots = &self.root_powers[size..2 * size];
+            let roots_shoup = &self.root_powers_shoup[size..2 * size];
             for i in 0..size {
-                let w = self.root_powers[size + i];
-                let ws = self.root_powers_shoup[size + i];
-                let j1 = 2 * i * t;
-                for j in j1..j1 + t {
-                    let u = a[j];
-                    let v = m.mul_shoup(a[j + t], w, ws);
-                    a[j] = m.add(u, v);
-                    a[j + t] = m.sub(u, v);
+                let w = roots[i];
+                let ws = roots_shoup[i];
+                let (lo, hi) = a[2 * i * t..2 * i * t + 2 * t].split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    // u in [0, 4p) -> [0, 2p); v in [0, 2p) for any 64-bit input.
+                    let mut u = *x;
+                    if u >= two_p {
+                        u -= two_p;
+                    }
+                    let v = m.mul_shoup_lazy(*y, w, ws);
+                    *x = u + v; // [0, 4p)
+                    *y = u + two_p - v; // (0, 4p)
                 }
             }
             size <<= 1;
         }
+        // Single full-reduction pass: [0, 4p) -> [0, p).
+        for x in a.iter_mut() {
+            let mut v = *x;
+            if v >= two_p {
+                v -= two_p;
+            }
+            if v >= p {
+                v -= p;
+            }
+            *x = v;
+        }
     }
 
     /// In-place inverse negacyclic NTT (evaluations -> coefficients).
+    ///
+    /// Lazy-reduction form: butterfly values stay in `[0, 2p)` (the sum
+    /// gets one conditional subtraction of `2p`, the difference goes
+    /// through a lazy Shoup multiply), and the final `N^{-1}` scaling
+    /// pass performs the full reduction to `[0, p)`.
     ///
     /// # Panics
     ///
@@ -130,25 +162,34 @@ impl NttTables {
     pub fn inverse(&self, a: &mut [u64]) {
         assert_eq!(a.len(), self.degree);
         let m = &self.modulus;
+        let two_p = 2 * m.value();
         let n = self.degree;
         let mut t = 1usize;
         let mut size = n >> 1;
         while size >= 1 {
-            let mut j1 = 0usize;
+            let roots = &self.inv_root_powers[size..2 * size];
+            let roots_shoup = &self.inv_root_powers_shoup[size..2 * size];
             for i in 0..size {
-                let w = self.inv_root_powers[size + i];
-                let ws = self.inv_root_powers_shoup[size + i];
-                for j in j1..j1 + t {
-                    let u = a[j];
-                    let v = a[j + t];
-                    a[j] = m.add(u, v);
-                    a[j + t] = m.mul_shoup(m.sub(u, v), w, ws);
+                let w = roots[i];
+                let ws = roots_shoup[i];
+                let (lo, hi) = a[2 * i * t..2 * i * t + 2 * t].split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    // u, v in [0, 2p).
+                    let u = *x;
+                    let v = *y;
+                    let mut s = u + v; // [0, 4p)
+                    if s >= two_p {
+                        s -= two_p;
+                    }
+                    *x = s; // [0, 2p)
+                    *y = m.mul_shoup_lazy(u + two_p - v, w, ws); // [0, 2p)
                 }
-                j1 += 2 * t;
             }
             t <<= 1;
             size >>= 1;
         }
+        // N^{-1} scaling doubles as the final full reduction to [0, p):
+        // mul_shoup accepts the lazy [0, 2p) inputs directly.
         for x in a.iter_mut() {
             *x = m.mul_shoup(*x, self.inv_degree, self.inv_degree_shoup);
         }
@@ -160,6 +201,7 @@ mod tests {
     use super::*;
     use crate::primes::ntt_primes;
 
+    #[allow(clippy::needless_range_loop)]
     fn naive_negacyclic(a: &[u64], b: &[u64], p: u64) -> Vec<u64> {
         let n = a.len();
         let m = Modulus::new(p);
@@ -189,6 +231,28 @@ mod tests {
             tables.inverse(&mut a);
             assert_eq!(a, orig);
         }
+    }
+
+    #[test]
+    fn roundtrip_at_max_prime_size() {
+        // 62-bit prime: 4p sits right under 2^64, the tightest case for
+        // the lazy-reduction [0, 4p) intermediate values.
+        let degree = 256usize;
+        let p = ntt_primes(62, degree, 1)[0];
+        let tables = NttTables::new(p, degree);
+        let orig: Vec<u64> = (0..degree as u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) % p)
+            .collect();
+        let mut a = orig.clone();
+        tables.forward(&mut a);
+        for &x in &a {
+            assert!(x < p, "forward output must be fully reduced");
+        }
+        tables.inverse(&mut a);
+        for &x in &a {
+            assert!(x < p, "inverse output must be fully reduced");
+        }
+        assert_eq!(a, orig);
     }
 
     #[test]

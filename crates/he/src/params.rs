@@ -144,11 +144,7 @@ impl EncryptionParams {
     ///
     /// Panics if `moduli` is empty or the plaintext modulus is not
     /// `1 mod 2N`.
-    pub fn with_explicit_moduli(
-        level: ParamLevel,
-        moduli: Vec<u64>,
-        plain_modulus: u64,
-    ) -> Self {
+    pub fn with_explicit_moduli(level: ParamLevel, moduli: Vec<u64>, plain_modulus: u64) -> Self {
         let degree = level.degree();
         assert!(!moduli.is_empty(), "need at least one coefficient modulus");
         assert_eq!(

@@ -59,7 +59,6 @@ impl Poly {
         let k = ctx.moduli_count();
         let mut data = vec![0u64; k * n];
         for (i, m) in ctx.moduli().iter().enumerate() {
-
             for (j, &c) in coeffs.iter().enumerate() {
                 data[i * n + j] = if c >= 0 {
                     m.reduce(c as u64)
@@ -193,6 +192,42 @@ impl Poly {
         }
     }
 
+    /// `self += a * b`, pointwise; all three must be in NTT form.
+    ///
+    /// Fused form of `mul_assign_ntt` + `add_assign` that avoids the
+    /// intermediate product polynomial — the key-switch inner loop uses
+    /// this to accumulate `digit * ksk` terms without cloning the digit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any polynomial is in coefficient form.
+    pub fn add_mul_assign_ntt(&mut self, a: &Poly, b: &Poly) {
+        assert_eq!(self.form, PolyForm::Ntt, "accumulator must be in NTT form");
+        self.assert_compatible(a);
+        self.assert_compatible(b);
+        let ctx = Arc::clone(&self.ctx);
+        let n = ctx.degree();
+        for (i, m) in ctx.moduli().iter().enumerate() {
+            let dst = &mut self.data[i * n..(i + 1) * n];
+            let sa = &a.data[i * n..(i + 1) * n];
+            let sb = &b.data[i * n..(i + 1) * n];
+            for ((d, &x), &y) in dst.iter_mut().zip(sa).zip(sb) {
+                *d = m.add(*d, m.mul(x, y));
+            }
+        }
+    }
+
+    /// Relabels the representation without transforming the residues.
+    ///
+    /// Escape hatch for buffer-reuse patterns: a caller that overwrites
+    /// every residue of an NTT-form scratch polynomial with fresh
+    /// coefficient data must relabel it `Coeff` before calling
+    /// [`Poly::to_ntt`] again. The caller is responsible for the data
+    /// actually matching `form`.
+    pub fn reinterpret_form(&mut self, form: PolyForm) {
+        self.form = form;
+    }
+
     /// Multiplies every residue of modulus `i` by `scalar_i` (a per-modulus
     /// scalar, e.g. `Δ mod q_i`).
     pub fn mul_scalar_per_modulus(&mut self, scalars: &[u64]) {
@@ -216,6 +251,7 @@ impl Poly {
     /// # Panics
     ///
     /// Panics if the polynomial is in NTT form or `g` is even.
+    #[allow(clippy::needless_range_loop)]
     pub fn apply_galois(&self, g: usize) -> Poly {
         assert_eq!(self.form, PolyForm::Coeff, "galois requires coeff form");
         assert_eq!(g % 2, 1, "galois element must be odd");
@@ -254,7 +290,9 @@ mod tests {
     #[test]
     fn ntt_roundtrip_preserves_poly() {
         let ctx = ctx();
-        let coeffs: Vec<i64> = (0..ctx.degree() as i64).map(|i| (i * 7) % 1000 - 500).collect();
+        let coeffs: Vec<i64> = (0..ctx.degree() as i64)
+            .map(|i| (i * 7) % 1000 - 500)
+            .collect();
         let orig = Poly::from_signed_coeffs(&ctx, &coeffs);
         let mut p = orig.clone();
         p.to_ntt();

@@ -19,14 +19,14 @@ pub fn is_prime(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let m = Modulus::new(n);
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -54,7 +54,7 @@ pub fn is_prime(n: u64) -> bool {
 /// Panics if `bits` is out of `(log2(2*degree), 62]` or not enough primes
 /// exist (which cannot happen for the parameter sets used here).
 pub fn ntt_primes(bits: u32, degree: usize, count: usize) -> Vec<u64> {
-    assert!(bits <= 62 && bits >= 2, "prime bit size out of range");
+    assert!((2..=62).contains(&bits), "prime bit size out of range");
     let step = 2 * degree as u64;
     assert!(
         (1u64 << (bits - 1)) > step,
@@ -164,6 +164,6 @@ mod tests {
         let t = prime_at_least(1 << 20, 16384);
         assert!(is_prime(t));
         assert_eq!(t % 32768, 1);
-        assert!(t >= 1 << 20 && t < (1 << 21));
+        assert!((1 << 20..(1 << 21)).contains(&t));
     }
 }

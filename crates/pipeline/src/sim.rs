@@ -276,6 +276,7 @@ impl Engine {
 }
 
 /// Simulates one convolution layer (plus its trailing ReLU, if any).
+#[allow(clippy::needless_range_loop)]
 pub fn simulate_conv(plan: &ConvPlan, cfg: &SimConfig) -> SimResult {
     let costs = cfg.costs.at(plan.level);
     let enc_t = cfg.client.scale(costs.encrypt);
@@ -421,12 +422,7 @@ pub fn simulate_conv(plan: &ConvPlan, cfg: &SimConfig) -> SimResult {
         }
     }
 
-    let mut engine = Engine::new(
-        jobs,
-        cfg.client.threads,
-        cfg.server.threads,
-        capacity,
-    );
+    let mut engine = Engine::new(jobs, cfg.client.threads, cfg.server.threads, capacity);
     let mut makespan = engine.run();
 
     // Extra client-side processing (e.g. Cheetah LWE handling).

@@ -108,8 +108,6 @@ mod tests {
 
     #[test]
     fn max_costs_more_than_relu() {
-        assert!(
-            OtCostModel::max(21).cpu_s_per_element > OtCostModel::relu(21).cpu_s_per_element
-        );
+        assert!(OtCostModel::max(21).cpu_s_per_element > OtCostModel::relu(21).cpu_s_per_element);
     }
 }

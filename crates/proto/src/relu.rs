@@ -93,7 +93,10 @@ pub fn maxpool2_on_shares<R: Rng>(
 ) -> (ShareVec, ShareVec) {
     let t = client.modulus();
     assert_eq!(client.len(), channels * height * width, "shape mismatch");
-    assert!(height % 2 == 0 && width % 2 == 0, "odd pooling dims");
+    assert!(
+        height.is_multiple_of(2) && width.is_multiple_of(2),
+        "odd pooling dims"
+    );
     let x = reconstruct(client, server);
     let oh = height / 2;
     let ow = width / 2;
@@ -186,11 +189,7 @@ pub fn global_avgpool_on_shares<R: Rng>(
 }
 
 /// Helper: shares of a plain tensor for protocol entry points.
-pub fn share_tensor<R: Rng>(
-    values: &[i64],
-    modulus: u64,
-    rng: &mut R,
-) -> (ShareVec, ShareVec) {
+pub fn share_tensor<R: Rng>(values: &[i64], modulus: u64, rng: &mut R) -> (ShareVec, ShareVec) {
     let field: Vec<u64> = values.iter().map(|&v| to_field(v, modulus)).collect();
     share(&field, modulus, rng)
 }
@@ -198,7 +197,10 @@ pub fn share_tensor<R: Rng>(
 /// Helper: reconstructs shares back into centered signed values.
 pub fn reconstruct_signed(a: &ShareVec, b: &ShareVec) -> Vec<i64> {
     let t = a.modulus();
-    reconstruct(a, b).into_iter().map(|v| centered(v, t)).collect()
+    reconstruct(a, b)
+        .into_iter()
+        .map(|v| centered(v, t))
+        .collect()
 }
 
 #[cfg(test)]
@@ -279,7 +281,10 @@ mod tests {
         let (oc1, os1) = relu_on_shares(&c, &s, &mut ch, &mut rng);
         let (oc2, os2) = relu_on_shares(&c, &s, &mut ch, &mut rng);
         assert_ne!(oc1.values(), oc2.values());
-        assert_eq!(reconstruct_signed(&oc1, &os1), reconstruct_signed(&oc2, &os2));
+        assert_eq!(
+            reconstruct_signed(&oc1, &os1),
+            reconstruct_signed(&oc2, &os2)
+        );
     }
 
     #[test]

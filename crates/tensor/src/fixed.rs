@@ -18,7 +18,10 @@ impl FixedScale {
     /// Panics if `frac_bits >= 30` (would overflow the plaintext space
     /// after one multiplication).
     pub fn new(frac_bits: u32) -> Self {
-        assert!(frac_bits < 30, "fractional bits too large for Z_t arithmetic");
+        assert!(
+            frac_bits < 30,
+            "fractional bits too large for Z_t arithmetic"
+        );
         Self { frac_bits }
     }
 

@@ -289,7 +289,13 @@ pub fn resnet101() -> Network {
 
 fn vgg(name: &'static str, convs_per_stage: [usize; 5]) -> Network {
     let mut layers = Vec::new();
-    let stage_cfg = [(224usize, 64usize), (112, 128), (56, 256), (28, 512), (14, 512)];
+    let stage_cfg = [
+        (224usize, 64usize),
+        (112, 128),
+        (56, 256),
+        (28, 512),
+        (14, 512),
+    ];
     let mut prev_ch = 3usize;
     for (stage, &(size, ch)) in stage_cfg.iter().enumerate() {
         for _ in 0..convs_per_stage[stage] {

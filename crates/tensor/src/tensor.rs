@@ -30,7 +30,11 @@ impl Tensor {
     ///
     /// Panics if `data.len() != channels * height * width`.
     pub fn from_vec(channels: usize, height: usize, width: usize, data: Vec<i64>) -> Self {
-        assert_eq!(data.len(), channels * height * width, "tensor shape mismatch");
+        assert_eq!(
+            data.len(),
+            channels * height * width,
+            "tensor shape mismatch"
+        );
         Self {
             channels,
             height,
@@ -345,7 +349,9 @@ mod tests {
 
     #[test]
     fn kernel_layout() {
-        let k = Kernel::from_fn(2, 3, 3, 3, |o, i, a, b| (o * 1000 + i * 100 + a * 10 + b) as i64);
+        let k = Kernel::from_fn(2, 3, 3, 3, |o, i, a, b| {
+            (o * 1000 + i * 100 + a * 10 + b) as i64
+        });
         assert_eq!(k.at(1, 2, 0, 1), 1201);
     }
 }

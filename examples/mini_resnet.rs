@@ -68,7 +68,10 @@ fn secure_conv<R: rand::Rng>(
         ShareVec::new(
             party,
             t,
-            v.data().iter().map(|&x| x.rem_euclid(t as i64) as u64).collect(),
+            v.data()
+                .iter()
+                .map(|&x| x.rem_euclid(t as i64) as u64)
+                .collect(),
         )
     };
     (

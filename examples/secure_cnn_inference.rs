@@ -20,10 +20,13 @@ fn main() {
     let cnn = TinyCnn::new(11);
     let image = Tensor::random(2, 8, 8, 6, 3);
     let expected = cnn.forward_plain(&image);
+    println!("tiny CNN: conv(2->4, 3x3) -> ReLU -> maxpool -> conv(4->4, 3x3) -> ReLU");
     println!(
-        "tiny CNN: conv(2->4, 3x3) -> ReLU -> maxpool -> conv(4->4, 3x3) -> ReLU"
+        "input 2x8x8, output {}x{}x{}\n",
+        expected.channels(),
+        expected.height(),
+        expected.width()
     );
-    println!("input 2x8x8, output {}x{}x{}\n", expected.channels(), expected.height(), expected.width());
 
     for scheme in Scheme::ALL {
         let (output, channel) = cnn.forward_secure(&ctx, &keygen, &image, scheme, &mut rng);

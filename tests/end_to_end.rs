@@ -34,8 +34,12 @@ fn paper_claim_stall_disappears_under_spot() {
     let cfg = SimConfig::with_client(DeviceProfile::iot_k27());
     let cw = simulate_conv(&plan_conv(&shape, Scheme::CrypTFlow2, false), &cfg).timing;
     let sp = simulate_conv(&plan_conv(&shape, Scheme::Spot, false), &cfg).timing;
-    assert!(cw.stall_s > 5.0 * sp.stall_s.max(0.01),
-        "channel-wise stall {} vs SPOT {}", cw.stall_s, sp.stall_s);
+    assert!(
+        cw.stall_s > 5.0 * sp.stall_s.max(0.01),
+        "channel-wise stall {} vs SPOT {}",
+        cw.stall_s,
+        sp.stall_s
+    );
 }
 
 #[test]
@@ -66,9 +70,13 @@ fn paper_claim_cheetah_advantage_collapses_on_iot() {
     let net = resnet50();
     let desk = SimConfig::with_client(DeviceProfile::desktop_client());
     let iot = SimConfig::with_client(DeviceProfile::iot_k27());
-    let ratio_desktop = plan_network(&net, Scheme::CrypTFlow2).simulate(&desk).total_s
+    let ratio_desktop = plan_network(&net, Scheme::CrypTFlow2)
+        .simulate(&desk)
+        .total_s
         / plan_network(&net, Scheme::Cheetah).simulate(&desk).total_s;
-    let ratio_iot = plan_network(&net, Scheme::CrypTFlow2).simulate(&iot).total_s
+    let ratio_iot = plan_network(&net, Scheme::CrypTFlow2)
+        .simulate(&iot)
+        .total_s
         / plan_network(&net, Scheme::Cheetah).simulate(&iot).total_s;
     // Table II: desktop speedup (260%) collapses to ~20% on IoT.
     assert!(
@@ -82,7 +90,12 @@ fn paper_claim_spot_memory_utilization_wins() {
     // Fig. 11: SPOT holds up to ~2x more in-memory values per MB.
     let mut wins = 0usize;
     let mut total = 0usize;
-    for (w, h, c) in [(56usize, 56usize, 64usize), (28, 28, 128), (14, 14, 256), (7, 7, 512)] {
+    for (w, h, c) in [
+        (56usize, 56usize, 64usize),
+        (28, 28, 128),
+        (14, 14, 256),
+        (7, 7, 512),
+    ] {
         let shape = ConvShape::new(w, h, c, c, 3, 1);
         let sp = in_memory_values_per_mb(&plan_conv(&shape, Scheme::Spot, false));
         let cw = in_memory_values_per_mb(&plan_conv(&shape, Scheme::CrypTFlow2, false));
@@ -92,7 +105,10 @@ fn paper_claim_spot_memory_utilization_wins() {
             wins += 1;
         }
     }
-    assert!(wins >= 3, "SPOT should win memory utilization on most blocks ({wins}/{total})");
+    assert!(
+        wins >= 3,
+        "SPOT should win memory utilization on most blocks ({wins}/{total})"
+    );
 }
 
 #[test]
@@ -100,7 +116,13 @@ fn network_plans_cover_every_linear_layer() {
     for (net, expect_linear) in [(resnet18(), 18), (resnet50(), 50), (vgg16(), 16)] {
         for scheme in Scheme::ALL {
             let plan = plan_network(&net, scheme);
-            assert_eq!(plan.conv_plans.len(), expect_linear, "{} {}", net.name(), scheme.name());
+            assert_eq!(
+                plan.conv_plans.len(),
+                expect_linear,
+                "{} {}",
+                net.name(),
+                scheme.name()
+            );
             assert!(plan.total_comm_bytes() > 1_000_000);
         }
     }

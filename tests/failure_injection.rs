@@ -45,7 +45,11 @@ fn tampered_ciphertext_decrypts_to_garbage_not_plaintext() {
     }
     let tampered = Ciphertext::from_bytes(&ctx, &bytes);
     let decoded = encoder.decode(&decryptor.decrypt(&tampered));
-    assert_ne!(&decoded[..128], &values[..], "tampering must not preserve plaintext");
+    assert_ne!(
+        &decoded[..128],
+        &values[..],
+        "tampering must not preserve plaintext"
+    );
     // and the noise budget must collapse
     assert_eq!(decryptor.noise_budget(&tampered), 0);
 }
@@ -93,10 +97,10 @@ fn budget_exhaustion_is_detected_before_corruption() {
     // to zero before (or at the same time as) results go wrong.
     let (ctx, _, encoder, encryptor, decryptor, mut rng) = setup();
     let t = ctx.params().plain_modulus();
-    let big = encoder.encode(&vec![t - 1; 16]);
+    let big = encoder.encode(&[t - 1; 16]);
     let ev = Evaluator::new(&ctx);
-    let mut ct = encryptor.encrypt(&encoder.encode(&vec![1u64; 16]), &mut rng);
-    let mut expected = vec![1u64; 16];
+    let mut ct = encryptor.encrypt(&encoder.encode(&[1u64; 16]), &mut rng);
+    let mut expected = [1u64; 16];
     for round in 0..6 {
         ct = ev.multiply_plain(&ct, &big);
         for e in expected.iter_mut() {

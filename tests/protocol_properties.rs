@@ -123,7 +123,10 @@ fn protocol_traffic_is_charged_per_layer() {
     let before = ch.total_bytes();
     relu_on_shares(&c, &s, &mut ch, &mut rng);
     let after_relu = ch.total_bytes();
-    assert!(after_relu > before + 50_000, "ReLU must charge ~100B/element");
+    assert!(
+        after_relu > before + 50_000,
+        "ReLU must charge ~100B/element"
+    );
     truncate_on_shares(&c, &s, 4, &mut ch, &mut rng);
     assert!(ch.total_bytes() > after_relu);
 }

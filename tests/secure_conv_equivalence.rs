@@ -64,8 +64,26 @@ fn spot_shares_leak_nothing_obvious() {
     let kg2 = KeyGenerator::new(&ctx, &mut rng2);
     let input = Tensor::random(4, 8, 8, 6, 5);
     let kernel = Kernel::random(4, 4, 3, 3, 4, 6);
-    let a = spot_conv::execute(&ctx, &kg1, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng1);
-    let b = spot_conv::execute(&ctx, &kg2, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng2);
+    let a = spot_conv::execute(
+        &ctx,
+        &kg1,
+        &input,
+        &kernel,
+        1,
+        (4, 4),
+        PatchMode::Tweaked,
+        &mut rng1,
+    );
+    let b = spot_conv::execute(
+        &ctx,
+        &kg2,
+        &input,
+        &kernel,
+        1,
+        (4, 4),
+        PatchMode::Tweaked,
+        &mut rng2,
+    );
     assert_ne!(a.client_share, b.client_share, "shares must be randomized");
     assert_eq!(a.reconstruct(), b.reconstruct());
 }
@@ -77,11 +95,34 @@ fn spot_vanilla_and_tweaked_agree() {
     let keygen = KeyGenerator::new(&ctx, &mut rng);
     let input = Tensor::random(2, 10, 10, 6, 7);
     let kernel = Kernel::random(4, 2, 3, 3, 4, 8);
-    let v = spot_conv::execute(&ctx, &keygen, &input, &kernel, 1, (5, 5), PatchMode::Vanilla, &mut rng);
-    let t = spot_conv::execute(&ctx, &keygen, &input, &kernel, 1, (5, 5), PatchMode::Tweaked, &mut rng);
+    let v = spot_conv::execute(
+        &ctx,
+        &keygen,
+        &input,
+        &kernel,
+        1,
+        (5, 5),
+        PatchMode::Vanilla,
+        &mut rng,
+    );
+    let t = spot_conv::execute(
+        &ctx,
+        &keygen,
+        &input,
+        &kernel,
+        1,
+        (5, 5),
+        PatchMode::Tweaked,
+        &mut rng,
+    );
     assert_eq!(v.reconstruct(), t.reconstruct());
     // tweaking reduces total duplicated input footprint: fewer or equal cts
-    assert!(t.input_cts <= v.input_cts + 4, "tweaked {} vs vanilla {}", t.input_cts, v.input_cts);
+    assert!(
+        t.input_cts <= v.input_cts + 4,
+        "tweaked {} vs vanilla {}",
+        t.input_cts,
+        v.input_cts
+    );
 }
 
 #[test]
@@ -95,7 +136,16 @@ fn non_square_and_padded_shapes() {
     let expected = conv2d(&input, &kernel, 1);
     let cw = channelwise::execute(&ctx, &keygen, &input, &kernel, 1, &mut rng);
     assert_eq!(cw.reconstruct(), expected);
-    let sp = spot_conv::execute(&ctx, &keygen, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng);
+    let sp = spot_conv::execute(
+        &ctx,
+        &keygen,
+        &input,
+        &kernel,
+        1,
+        (4, 4),
+        PatchMode::Tweaked,
+        &mut rng,
+    );
     assert_eq!(sp.reconstruct(), expected);
 }
 
@@ -108,7 +158,16 @@ fn deep_channel_folding_co_much_less_than_ci() {
     let input = Tensor::random(16, 4, 4, 5, 11);
     let kernel = Kernel::random(2, 16, 3, 3, 3, 12);
     let expected = conv2d(&input, &kernel, 1);
-    let sp = spot_conv::execute(&ctx, &keygen, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng);
+    let sp = spot_conv::execute(
+        &ctx,
+        &keygen,
+        &input,
+        &kernel,
+        1,
+        (4, 4),
+        PatchMode::Tweaked,
+        &mut rng,
+    );
     assert_eq!(sp.reconstruct(), expected);
 }
 
@@ -123,7 +182,14 @@ fn spot_works_at_n8192() {
     let input = Tensor::random(4, 8, 8, 6, 13);
     let kernel = Kernel::random(8, 4, 3, 3, 4, 14);
     let sp = spot_conv::execute(
-        &ctx8, &keygen, &input, &kernel, 1, (8, 4), PatchMode::Tweaked, &mut rng,
+        &ctx8,
+        &keygen,
+        &input,
+        &kernel,
+        1,
+        (8, 4),
+        PatchMode::Tweaked,
+        &mut rng,
     );
     assert_eq!(sp.reconstruct(), conv2d(&input, &kernel, 1));
 }
@@ -137,7 +203,14 @@ fn single_channel_input_lane_contained_path() {
     let input = Tensor::random(1, 8, 8, 6, 15);
     let kernel = Kernel::random(4, 1, 3, 3, 4, 16);
     let sp = spot_conv::execute(
-        &ctx, &keygen, &input, &kernel, 1, (4, 4), PatchMode::Tweaked, &mut rng,
+        &ctx,
+        &keygen,
+        &input,
+        &kernel,
+        1,
+        (4, 4),
+        PatchMode::Tweaked,
+        &mut rng,
     );
     assert_eq!(sp.reconstruct(), conv2d(&input, &kernel, 1));
 }
