@@ -55,6 +55,50 @@ impl Executor {
         self.threads
     }
 
+    /// Spawns `workers` scoped threads, runs `f(worker_index)` on each,
+    /// and returns the per-worker results in worker order.
+    ///
+    /// This is the raw pool primitive shared by [`Executor::run`] and
+    /// the streaming runtime ([`crate::stream`]): `f` typically loops
+    /// over a shared work source (an atomic cursor or a channel) until
+    /// it is exhausted. A panic on any worker is propagated to the
+    /// caller after all threads have joined. With `workers == 1` the
+    /// closure runs inline on the caller's thread.
+    pub fn run_workers<R, F>(&self, workers: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let workers = workers.max(1);
+        if workers == 1 {
+            return vec![f(0)];
+        }
+        let result = thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let f = &f;
+                    s.spawn(move |_| f(w))
+                })
+                .collect();
+            let mut out = Vec::with_capacity(workers);
+            let mut panic = None;
+            for h in handles {
+                match h.join() {
+                    Ok(r) => out.push(r),
+                    Err(payload) => panic = Some(payload),
+                }
+            }
+            if let Some(payload) = panic {
+                std::panic::resume_unwind(payload);
+            }
+            out
+        });
+        match result {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
     /// Runs `f(index, &item)` for every item and returns the results in
     /// item order.
     ///
@@ -74,48 +118,25 @@ impl Executor {
         }
         let workers = self.threads.min(items.len());
         let cursor = AtomicUsize::new(0);
-        let result = thread::scope(|s| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    let cursor = &cursor;
-                    let f = &f;
-                    s.spawn(move |_| {
-                        let mut done: Vec<(usize, R)> = Vec::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= items.len() {
-                                break;
-                            }
-                            done.push((i, f(i, &items[i])));
-                        }
-                        done
-                    })
-                })
-                .collect();
-            let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-            let mut panic = None;
-            for h in handles {
-                match h.join() {
-                    Ok(done) => {
-                        for (i, r) in done {
-                            slots[i] = Some(r);
-                        }
-                    }
-                    Err(payload) => panic = Some(payload),
+        let per_worker = self.run_workers(workers, |_| {
+            let mut done: Vec<(usize, R)> = Vec::new();
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
                 }
+                done.push((i, f(i, &items[i])));
             }
-            if let Some(payload) = panic {
-                std::panic::resume_unwind(payload);
-            }
-            slots
-                .into_iter()
-                .map(|r| r.expect("every job produced a result"))
-                .collect::<Vec<R>>()
+            done
         });
-        match result {
-            Ok(v) => v,
-            Err(payload) => std::panic::resume_unwind(payload),
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        for (i, r) in per_worker.into_iter().flatten() {
+            slots[i] = Some(r);
         }
+        slots
+            .into_iter()
+            .map(|r| r.expect("every job produced a result"))
+            .collect()
     }
 }
 

@@ -3,7 +3,9 @@
 //! (convolutions under HE, non-linearities via the simulated OT
 //! protocols) on additive shares.
 
+use crate::executor::Executor;
 use crate::patching::PatchMode;
+use crate::stream::{StreamConfig, StreamStats};
 use crate::{channelwise, cheetah, select, spot};
 use rand::Rng;
 use spot_he::context::Context;
@@ -39,6 +41,69 @@ impl Scheme {
             Scheme::CrypTFlow2 => "CrypTFlow2",
             Scheme::Cheetah => "Cheetah",
             Scheme::Spot => "SPOT",
+        }
+    }
+}
+
+/// How a secure convolution's server work is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// Two sequential phases: encrypt every ciphertext, then fan the
+    /// convolutions across the executor pool.
+    Phased(Executor),
+    /// Real pipelining via [`crate::stream`]: client encryption streams
+    /// through a bounded channel overlapped with server convolution.
+    Streaming(StreamConfig),
+}
+
+/// Runs one secure convolution under `scheme` with the chosen backend.
+///
+/// Returns the measured [`StreamStats`] when the streaming backend ran
+/// (`None` for the phased backend). Both backends draw randomness in
+/// the same order, so for a given rng seed the returned shares and op
+/// counts are bit-identical across backends, thread counts, and channel
+/// capacities.
+#[allow(clippy::too_many_arguments)]
+pub fn run_conv_backend<R: Rng + Send>(
+    ctx: &Arc<Context>,
+    keygen: &KeyGenerator,
+    input: &Tensor,
+    kernel: &Kernel,
+    stride: usize,
+    patch: (usize, usize),
+    mode: PatchMode,
+    scheme: Scheme,
+    backend: &ExecBackend,
+    rng: &mut R,
+) -> (channelwise::SecureConvResult, Option<StreamStats>) {
+    match backend {
+        ExecBackend::Phased(ex) => {
+            let res = match scheme {
+                Scheme::CrypTFlow2 => {
+                    channelwise::execute_with(ctx, keygen, input, kernel, stride, ex, rng)
+                }
+                Scheme::Cheetah => {
+                    cheetah::execute_with(ctx, keygen, input, kernel, stride, ex, rng)
+                }
+                Scheme::Spot => {
+                    spot::execute_with(ctx, keygen, input, kernel, stride, patch, mode, ex, rng)
+                }
+            };
+            (res, None)
+        }
+        ExecBackend::Streaming(cfg) => {
+            let (res, stats) = match scheme {
+                Scheme::CrypTFlow2 => {
+                    channelwise::execute_streaming(ctx, keygen, input, kernel, stride, cfg, rng)
+                }
+                Scheme::Cheetah => {
+                    cheetah::execute_streaming(ctx, keygen, input, kernel, stride, cfg, rng)
+                }
+                Scheme::Spot => spot::execute_streaming(
+                    ctx, keygen, input, kernel, stride, patch, mode, cfg, rng,
+                ),
+            };
+            (res, Some(stats))
         }
     }
 }
@@ -216,7 +281,7 @@ impl TinyCnn {
     ///
     /// Returns the reconstructed output (testing convenience) and the
     /// protocol channel with its traffic statistics.
-    pub fn forward_secure<R: Rng>(
+    pub fn forward_secure<R: Rng + Send>(
         &self,
         ctx: &Arc<Context>,
         keygen: &KeyGenerator,
@@ -224,11 +289,56 @@ impl TinyCnn {
         scheme: Scheme,
         rng: &mut R,
     ) -> (Tensor, Channel) {
+        let (out, channel, _) = self.forward_secure_with(
+            ctx,
+            keygen,
+            input,
+            scheme,
+            &ExecBackend::Phased(Executor::serial()),
+            rng,
+        );
+        (out, channel)
+    }
+
+    /// [`TinyCnn::forward_secure`] with an explicit execution backend.
+    ///
+    /// With [`ExecBackend::Streaming`], each convolution layer runs as a
+    /// real client/server pipeline and the returned [`StreamStats`]
+    /// accumulate the per-layer stall accounting end to end; the output
+    /// is bit-identical to the phased backend for the same rng seed.
+    pub fn forward_secure_with<R: Rng + Send>(
+        &self,
+        ctx: &Arc<Context>,
+        keygen: &KeyGenerator,
+        input: &Tensor,
+        scheme: Scheme,
+        backend: &ExecBackend,
+        rng: &mut R,
+    ) -> (Tensor, Channel, StreamStats) {
         let t = ctx.params().plain_modulus();
         let mut channel = Channel::new();
+        let mut stream_stats = StreamStats::default();
+        let run = |input: &Tensor, kernel: &Kernel, stats: &mut StreamStats, rng: &mut R| {
+            let (res, layer_stats) = run_conv_backend(
+                ctx,
+                keygen,
+                input,
+                kernel,
+                1,
+                (4, 4),
+                PatchMode::Tweaked,
+                scheme,
+                backend,
+                rng,
+            );
+            if let Some(s) = layer_stats {
+                stats.accumulate(&s);
+            }
+            res
+        };
 
         // conv1 under HE
-        let r1 = self.run_conv(ctx, keygen, input, &self.conv1, scheme, rng);
+        let r1 = run(input, &self.conv1, &mut stream_stats, rng);
         // ReLU on shares
         let (c, s) = to_shares(&r1, t);
         let (c, s) = relu_on_shares(&c, &s, &mut channel, rng);
@@ -253,7 +363,7 @@ impl TinyCnn {
         // conv2 under HE (on the reconstructed-for-simulation tensor; in
         // the real protocol the client re-encrypts its share and the
         // server adds its own — the arithmetic is identical)
-        let r2 = self.run_conv(ctx, keygen, &mid, &self.conv2, scheme, rng);
+        let r2 = run(&mid, &self.conv2, &mut stream_stats, rng);
         let (c, s) = to_shares(&r2, t);
         let (c, s) = relu_on_shares(&c, &s, &mut channel, rng);
         let out = from_shares(
@@ -264,32 +374,7 @@ impl TinyCnn {
             input.width() / 2,
             t,
         );
-        (out, channel)
-    }
-
-    fn run_conv<R: Rng>(
-        &self,
-        ctx: &Arc<Context>,
-        keygen: &KeyGenerator,
-        input: &Tensor,
-        kernel: &Kernel,
-        scheme: Scheme,
-        rng: &mut R,
-    ) -> crate::channelwise::SecureConvResult {
-        match scheme {
-            Scheme::CrypTFlow2 => channelwise::execute(ctx, keygen, input, kernel, 1, rng),
-            Scheme::Cheetah => cheetah::execute(ctx, keygen, input, kernel, 1, rng),
-            Scheme::Spot => spot::execute(
-                ctx,
-                keygen,
-                input,
-                kernel,
-                1,
-                (4, 4),
-                PatchMode::Tweaked,
-                rng,
-            ),
-        }
+        (out, channel, stream_stats)
     }
 }
 
@@ -361,6 +446,40 @@ mod tests {
             let (got, channel) = cnn.forward_secure(&ctx, &kg, &input, scheme, &mut rng);
             assert_eq!(got, want, "scheme {}", scheme.name());
             assert!(channel.total_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn tiny_cnn_streaming_backend_matches_phased() {
+        let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
+        let mut rng = StdRng::seed_from_u64(42);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let cnn = TinyCnn::new(7);
+        let input = Tensor::random(2, 8, 8, 5, 9);
+        for scheme in Scheme::ALL {
+            let mut rng_a = StdRng::seed_from_u64(77);
+            let (phased, chan_a, _) = cnn.forward_secure_with(
+                &ctx,
+                &kg,
+                &input,
+                scheme,
+                &ExecBackend::Phased(Executor::serial()),
+                &mut rng_a,
+            );
+            let mut rng_b = StdRng::seed_from_u64(77);
+            let cfg = StreamConfig::new(Executor::new(2), 2);
+            let (streamed, chan_b, stats) = cnn.forward_secure_with(
+                &ctx,
+                &kg,
+                &input,
+                scheme,
+                &ExecBackend::Streaming(cfg),
+                &mut rng_b,
+            );
+            assert_eq!(phased, streamed, "scheme {}", scheme.name());
+            assert_eq!(chan_a.total_bytes(), chan_b.total_bytes());
+            assert!(stats.input_items > 0, "scheme {}", scheme.name());
+            assert!(stats.wall_s > 0.0);
         }
     }
 

@@ -28,3 +28,4 @@ pub mod memory_util;
 pub mod patching;
 pub mod select;
 pub mod spot;
+pub mod stream;

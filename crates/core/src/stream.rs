@@ -1,0 +1,830 @@
+//! Streaming execution runtime: overlap client encryption with server
+//! convolution.
+//!
+//! The phased drivers (`execute_with` in [`crate::spot`],
+//! [`crate::channelwise`], [`crate::cheetah`]) run *encrypt everything →
+//! convolve everything* as two sequential phases, so the pipelining that
+//! SPOT's structure patching enables existed only in the analytic
+//! simulator. This module makes it real: a **producer thread** (the
+//! client) packs and encrypts ciphertexts and pushes them through a
+//! [`BoundedQueue`] whose capacity is the tiny client's ciphertext
+//! budget ([`DeviceProfile::ciphertext_capacity`]); **server workers**
+//! (the PR 1 [`Executor`] pool, via [`Executor::run_workers`]) pull each
+//! ciphertext the moment it arrives and convolve it; result shares flow
+//! back on an unbounded return queue for overlapped assembly on the
+//! caller's thread.
+//!
+//! Two drivers map the two output-dependency classes
+//! ([`crate::inference::plan_conv`]):
+//!
+//! * [`run_stream`] — per-input dependencies (SPOT): every ciphertext is
+//!   independently convolvable, so the server starts on ciphertext 0
+//!   while the client is still encrypting ciphertext 1.
+//! * [`run_stream_barrier`] — all-input dependencies (channel-wise,
+//!   Cheetah): every server job reads the full input set, so workers sit
+//!   idle until the last ciphertext lands — the "linear computation
+//!   stall" the paper eliminates. Upload is still overlappable with
+//!   nothing, and that idle time is what the stall accounting surfaces.
+//!
+//! ## Determinism
+//!
+//! All protocol randomness is drawn on the producer thread in exactly
+//! the phased driver's order; the parallel phase is pure; results are
+//! consumed in item order. Given the same rng seed, a streamed layer's
+//! shares are bit-identical to the phased layer's — enforced by
+//! `tests/streaming_determinism.rs` at 1 and 8 server threads.
+//!
+//! ## Stall accounting
+//!
+//! Every stage is timed against a common origin: client active/blocked
+//! time, per-worker busy and idle (blocked on [`BoundedQueue::recv`]
+//! while the stream is open) in thread-seconds, plus a Gantt-style
+//! [`StreamEvent`] trace for the `stream_timeline` bench binary.
+//! [`StreamStats::stall_row`] converts a run into the
+//! [`spot_pipeline::report::StallRow`] rendered by
+//! [`spot_pipeline::report::stall_table`].
+
+use crate::executor::Executor;
+use crossbeam::thread;
+use spot_he::pool;
+use spot_pipeline::device::DeviceProfile;
+use spot_pipeline::report::StallRow;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Events shorter than this are dropped from the timeline trace (they
+/// would render as zero-width Gantt slivers).
+const EVENT_EPS: Duration = Duration::from_micros(20);
+
+// ---------------------------------------------------------------------
+// Bounded MPMC queue
+// ---------------------------------------------------------------------
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A blocking bounded MPMC queue with close semantics and blocked-time
+/// measurement (the vendored `crossbeam` stand-in provides only scoped
+/// threads, so the channel layer is built here).
+///
+/// [`BoundedQueue::send`] blocks while the queue is full — this is the
+/// backpressure that keeps at most `capacity` ciphertexts in flight,
+/// i.e. the tiny client's memory model. [`BoundedQueue::recv`] blocks
+/// while the queue is empty and open, and returns `None` once it is
+/// closed and drained. Both return the time they spent blocked so the
+/// runtime can attribute stall to the right side.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    can_send: Condvar,
+    can_recv: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            can_send: Condvar::new(),
+            can_recv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// A queue with no capacity bound (used for the return channel:
+    /// server workers must never block on the client).
+    pub fn unbounded() -> Self {
+        Self::bounded(usize::MAX)
+    }
+
+    /// The capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sends an item, blocking while the queue is full; returns the
+    /// time spent blocked.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue has been closed.
+    pub fn send(&self, item: T) -> Duration {
+        let mut blocked = Duration::ZERO;
+        let mut st = self.state.lock().unwrap();
+        while st.items.len() >= self.capacity && !st.closed {
+            let t0 = Instant::now();
+            st = self.can_send.wait(st).unwrap();
+            blocked += t0.elapsed();
+        }
+        assert!(!st.closed, "send on closed queue");
+        st.items.push_back(item);
+        drop(st);
+        self.can_recv.notify_one();
+        blocked
+    }
+
+    /// Receives an item, blocking while the queue is empty and open;
+    /// returns `None` once closed and drained, plus the time spent
+    /// blocked.
+    pub fn recv(&self) -> (Option<T>, Duration) {
+        let mut blocked = Duration::ZERO;
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.can_send.notify_one();
+                return (Some(item), blocked);
+            }
+            if st.closed {
+                return (None, blocked);
+            }
+            let t0 = Instant::now();
+            st = self.can_recv.wait(st).unwrap();
+            blocked += t0.elapsed();
+        }
+    }
+
+    /// Closes the queue: senders panic, receivers drain then get `None`.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        drop(st);
+        self.can_send.notify_all();
+        self.can_recv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Configuration and stats
+// ---------------------------------------------------------------------
+
+/// Streaming runtime configuration: the server worker pool and the
+/// bounded-channel capacity (the client's ciphertext budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Server-side worker pool.
+    pub executor: Executor,
+    /// Maximum ciphertexts in flight client → server.
+    pub channel_capacity: usize,
+}
+
+impl StreamConfig {
+    /// A config with an explicit channel capacity (clamped to ≥ 1).
+    pub fn new(executor: Executor, channel_capacity: usize) -> Self {
+        Self {
+            executor,
+            channel_capacity: channel_capacity.max(1),
+        }
+    }
+
+    /// A config whose channel capacity is the client device's
+    /// ciphertext budget for the given serialized ciphertext size.
+    pub fn for_client(executor: Executor, client: &DeviceProfile, ciphertext_bytes: usize) -> Self {
+        Self::new(executor, client.ciphertext_capacity(ciphertext_bytes))
+    }
+}
+
+/// One timed span in a streamed execution, for Gantt-style rendering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamEvent {
+    /// Timeline lane (`client`, `server-0`…, `assemble`).
+    pub lane: String,
+    /// What happened (`enc #3`, `conv #3`, `idle`, `out #0`).
+    pub label: String,
+    /// Span start, seconds from stream origin.
+    pub start_s: f64,
+    /// Span end, seconds from stream origin.
+    pub end_s: f64,
+}
+
+/// Measured wall-clock accounting for one streamed execution.
+///
+/// `server_busy_s`/`server_idle_s` are thread-seconds summed over the
+/// worker pool; the rest are wall-clock seconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StreamStats {
+    /// End-to-end wall time.
+    pub wall_s: f64,
+    /// Producer (client) active time: packing, encryption, mask
+    /// generation.
+    pub client_s: f64,
+    /// Producer time blocked on channel backpressure.
+    pub client_blocked_s: f64,
+    /// Worker thread-seconds spent computing.
+    pub server_busy_s: f64,
+    /// Worker thread-seconds blocked waiting for ciphertexts while the
+    /// stream was open — the measured "linear computation stall".
+    pub server_idle_s: f64,
+    /// Items streamed client → server.
+    pub input_items: usize,
+    /// Results returned server → client.
+    pub output_items: usize,
+    /// Bounded-channel capacity used.
+    pub channel_capacity: usize,
+    /// Server worker count.
+    pub server_threads: usize,
+    /// Gantt trace (empty spans below 20 µs are dropped).
+    pub events: Vec<StreamEvent>,
+}
+
+impl StreamStats {
+    /// Folds another layer's stats into this one, shifting the incoming
+    /// events to start where this timeline currently ends (used when a
+    /// network streams layer after layer).
+    pub fn accumulate(&mut self, other: &StreamStats) {
+        let shift = self.wall_s;
+        self.wall_s += other.wall_s;
+        self.client_s += other.client_s;
+        self.client_blocked_s += other.client_blocked_s;
+        self.server_busy_s += other.server_busy_s;
+        self.server_idle_s += other.server_idle_s;
+        self.input_items += other.input_items;
+        self.output_items += other.output_items;
+        self.channel_capacity = self.channel_capacity.max(other.channel_capacity);
+        self.server_threads = self.server_threads.max(other.server_threads);
+        self.events.extend(other.events.iter().map(|e| StreamEvent {
+            lane: e.lane.clone(),
+            label: e.label.clone(),
+            start_s: e.start_s + shift,
+            end_s: e.end_s + shift,
+        }));
+    }
+
+    /// Converts to the report row rendered by
+    /// [`spot_pipeline::report::stall_table`].
+    pub fn stall_row(&self, scheme: &str) -> StallRow {
+        StallRow {
+            scheme: scheme.to_string(),
+            wall_s: self.wall_s,
+            client_s: self.client_s,
+            client_blocked_s: self.client_blocked_s,
+            server_busy_s: self.server_busy_s,
+            server_idle_s: self.server_idle_s,
+            input_cts: self.input_items,
+            output_cts: self.output_items,
+            channel_capacity: self.channel_capacity,
+            server_threads: self.server_threads,
+        }
+    }
+}
+
+fn event(
+    lane: &str,
+    label: impl Into<String>,
+    t0: Instant,
+    start: Instant,
+    end: Instant,
+) -> Option<StreamEvent> {
+    if end.duration_since(start) < EVENT_EPS {
+        return None;
+    }
+    Some(StreamEvent {
+        lane: lane.to_string(),
+        label: label.into(),
+        start_s: start.duration_since(t0).as_secs_f64(),
+        end_s: end.duration_since(t0).as_secs_f64(),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Producer side
+// ---------------------------------------------------------------------
+
+/// Handle the producer closure pushes ciphertexts through. Items are
+/// indexed in push order; [`Feeder::push`] blocks when the channel is
+/// full (client out of ciphertext memory) and attributes the wait to
+/// `client_blocked_s`.
+pub struct Feeder<'q, T> {
+    queue: &'q BoundedQueue<(usize, T)>,
+    t0: Instant,
+    last: Instant,
+    next_index: usize,
+    blocked: Duration,
+    events: Vec<StreamEvent>,
+}
+
+impl<'q, T> Feeder<'q, T> {
+    fn new(queue: &'q BoundedQueue<(usize, T)>, t0: Instant) -> Self {
+        Self {
+            queue,
+            t0,
+            last: Instant::now(),
+            next_index: 0,
+            blocked: Duration::ZERO,
+            events: Vec::new(),
+        }
+    }
+
+    /// Pushes the next item (index assigned in push order), blocking on
+    /// backpressure.
+    pub fn push(&mut self, item: T) {
+        let i = self.next_index;
+        let produced = Instant::now();
+        self.events.extend(event(
+            "client",
+            format!("enc #{i}"),
+            self.t0,
+            self.last,
+            produced,
+        ));
+        let waited = self.queue.send((i, item));
+        if waited > Duration::ZERO {
+            let now = Instant::now();
+            self.events.extend(event(
+                "client",
+                "blocked (channel full)",
+                self.t0,
+                produced,
+                now,
+            ));
+        }
+        self.blocked += waited;
+        self.next_index += 1;
+        self.last = Instant::now();
+    }
+
+    /// Items pushed so far.
+    pub fn pushed(&self) -> usize {
+        self.next_index
+    }
+}
+
+struct ProducerOutcome {
+    events: Vec<StreamEvent>,
+    blocked: Duration,
+    pushed: usize,
+    finished: Instant,
+}
+
+fn run_producer<T, P>(
+    queue: &BoundedQueue<(usize, T)>,
+    t0: Instant,
+    channel_capacity: usize,
+    producer: P,
+) -> ProducerOutcome
+where
+    P: FnOnce(&mut Feeder<'_, T>),
+{
+    // Client memory model: a ciphertext is two residue polynomials, so a
+    // budget of `channel_capacity` in-flight ciphertexts bounds the
+    // producer's buffer pool at twice that — the debug assertion is the
+    // satellite-task guarantee that pooling never retains more scratch
+    // than the device could hold.
+    let prev_cap = pool::capacity();
+    pool::set_capacity(2 * channel_capacity);
+    debug_assert!(pool::capacity() <= 2 * channel_capacity);
+    let mut feeder = Feeder::new(queue, t0);
+    producer(&mut feeder);
+    queue.close();
+    let outcome = ProducerOutcome {
+        events: std::mem::take(&mut feeder.events),
+        blocked: feeder.blocked,
+        pushed: feeder.next_index,
+        finished: Instant::now(),
+    };
+    pool::set_capacity(prev_cap);
+    outcome
+}
+
+// ---------------------------------------------------------------------
+// Per-input streaming driver
+// ---------------------------------------------------------------------
+
+/// Streams independently-convolvable ciphertexts (SPOT's per-input
+/// dependency class): the producer closure encrypts and pushes items;
+/// each server worker pulls and applies `work` the moment an item
+/// arrives; `consume` receives results **in item order** on the
+/// caller's thread, overlapped with ongoing production and convolution.
+///
+/// Determinism contract: `producer` performs all rng draws in the
+/// phased order on its single thread; `work` must be pure (no shared
+/// mutable state, no randomness); `consume` runs sequentially in index
+/// order — so the composition is bit-identical to the phased loop for
+/// any thread count and channel capacity.
+pub fn run_stream<T, R, P, W, C>(
+    config: &StreamConfig,
+    producer: P,
+    work: W,
+    mut consume: C,
+) -> StreamStats
+where
+    T: Send,
+    R: Send,
+    P: FnOnce(&mut Feeder<'_, T>) + Send,
+    W: Fn(usize, T) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    let t0 = Instant::now();
+    let in_q: BoundedQueue<(usize, T)> = BoundedQueue::bounded(config.channel_capacity);
+    let out_q: BoundedQueue<(usize, R)> = BoundedQueue::unbounded();
+    let workers = config.executor.threads();
+
+    let mut stats = StreamStats {
+        channel_capacity: config.channel_capacity,
+        server_threads: workers,
+        ..StreamStats::default()
+    };
+
+    let scope_result = thread::scope(|s| {
+        let in_q = &in_q;
+        let out_q = &out_q;
+        let work = &work;
+
+        let producer_handle =
+            s.spawn(move |_| run_producer(in_q, t0, config.channel_capacity, producer));
+
+        let server_handle = s.spawn(move |_| {
+            let per_worker = config.executor.run_workers(workers, |w| {
+                let lane = format!("server-{w}");
+                let mut idle = Duration::ZERO;
+                let mut busy = Duration::ZERO;
+                let mut events: Vec<StreamEvent> = Vec::new();
+                loop {
+                    let wait_start = Instant::now();
+                    let (msg, waited) = in_q.recv();
+                    idle += waited;
+                    let Some((i, item)) = msg else { break };
+                    events.extend(event(&lane, "idle", t0, wait_start, Instant::now()));
+                    let job_start = Instant::now();
+                    let r = work(i, item);
+                    let job_end = Instant::now();
+                    busy += job_end.duration_since(job_start);
+                    events.extend(event(&lane, format!("conv #{i}"), t0, job_start, job_end));
+                    out_q.send((i, r));
+                }
+                (idle, busy, events)
+            });
+            // All workers have exited: no more results will appear.
+            out_q.close();
+            per_worker
+        });
+
+        // Overlapped assembly on the caller's thread, in item order.
+        let mut pending: BTreeMap<usize, R> = BTreeMap::new();
+        let mut next = 0usize;
+        let mut assemble_events: Vec<StreamEvent> = Vec::new();
+        loop {
+            let (msg, _) = out_q.recv();
+            let Some((i, r)) = msg else { break };
+            pending.insert(i, r);
+            while let Some(r) = pending.remove(&next) {
+                let c_start = Instant::now();
+                consume(next, r);
+                assemble_events.extend(event(
+                    "assemble",
+                    format!("out #{next}"),
+                    t0,
+                    c_start,
+                    Instant::now(),
+                ));
+                next += 1;
+            }
+        }
+        debug_assert!(pending.is_empty(), "result indices must be contiguous");
+
+        let produced = producer_handle.join().expect("producer thread panicked");
+        let per_worker = server_handle.join().expect("server pool panicked");
+        (produced, per_worker, assemble_events, next)
+    });
+
+    let (produced, per_worker, assemble_events, consumed) = match scope_result {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+
+    stats.wall_s = t0.elapsed().as_secs_f64();
+    stats.client_blocked_s = produced.blocked.as_secs_f64();
+    stats.client_s = produced
+        .finished
+        .duration_since(t0)
+        .saturating_sub(produced.blocked)
+        .as_secs_f64();
+    stats.input_items = produced.pushed;
+    stats.output_items = consumed;
+    stats.events.extend(produced.events);
+    for (idle, busy, events) in per_worker {
+        stats.server_idle_s += idle.as_secs_f64();
+        stats.server_busy_s += busy.as_secs_f64();
+        stats.events.extend(events);
+    }
+    stats.events.extend(assemble_events);
+    stats.events.sort_by(|a, b| {
+        a.start_s
+            .partial_cmp(&b.start_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    stats
+}
+
+// ---------------------------------------------------------------------
+// All-input (barrier) streaming driver
+// ---------------------------------------------------------------------
+
+/// Streams ciphertexts for a scheme whose every output depends on the
+/// full input set (`OutputDependency::AllInputs`: channel-wise packing,
+/// Cheetah): the producer uploads through the same bounded channel, but
+/// no server job can start before the last input arrives, so the whole
+/// upload span is measured as server idle — the stall SPOT's per-input
+/// structure eliminates. Once the inputs are staged, `n_jobs` jobs run
+/// on the worker pool (`work(j, &inputs)`), and `consume` receives
+/// results in job order.
+pub fn run_stream_barrier<T, R, P, W, C>(
+    config: &StreamConfig,
+    n_jobs: usize,
+    producer: P,
+    work: W,
+    mut consume: C,
+) -> StreamStats
+where
+    T: Send + Sync,
+    R: Send,
+    P: FnOnce(&mut Feeder<'_, T>) + Send,
+    W: Fn(usize, &[T]) -> R + Sync,
+    C: FnMut(usize, R),
+{
+    let t0 = Instant::now();
+    let in_q: BoundedQueue<(usize, T)> = BoundedQueue::bounded(config.channel_capacity);
+    let workers = config.executor.threads().min(n_jobs.max(1));
+
+    let mut stats = StreamStats {
+        channel_capacity: config.channel_capacity,
+        server_threads: workers,
+        ..StreamStats::default()
+    };
+
+    // Stage 1: drain the full upload; the server's workers are parked
+    // until the barrier clears.
+    let scope_result = thread::scope(|s| {
+        let in_q = &in_q;
+        let producer_handle =
+            s.spawn(move |_| run_producer(in_q, t0, config.channel_capacity, producer));
+        let mut inputs: Vec<T> = Vec::new();
+        loop {
+            let (msg, _) = in_q.recv();
+            let Some((i, item)) = msg else { break };
+            debug_assert_eq!(i, inputs.len(), "single producer delivers in order");
+            inputs.push(item);
+        }
+        let produced = producer_handle.join().expect("producer thread panicked");
+        (inputs, produced)
+    });
+    let (inputs, produced) = match scope_result {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+
+    let barrier_cleared = Instant::now();
+    let upload_span = barrier_cleared.duration_since(t0);
+    stats.server_idle_s = upload_span.as_secs_f64() * workers as f64;
+    for w in 0..workers {
+        stats.events.extend(event(
+            &format!("server-{w}"),
+            "idle (await all inputs)",
+            t0,
+            t0,
+            barrier_cleared,
+        ));
+    }
+    stats.client_blocked_s = produced.blocked.as_secs_f64();
+    stats.client_s = produced
+        .finished
+        .duration_since(t0)
+        .saturating_sub(produced.blocked)
+        .as_secs_f64();
+    stats.input_items = produced.pushed;
+    stats.events.extend(produced.events);
+
+    // Stage 2: all inputs present — run the job fan-out on the pool.
+    let cursor = AtomicUsize::new(0);
+    let inputs_ref = &inputs;
+    let work = &work;
+    let per_worker = config.executor.run_workers(workers, |w| {
+        let lane = format!("server-{w}");
+        let mut busy = Duration::ZERO;
+        let mut done: Vec<(usize, R)> = Vec::new();
+        let mut events: Vec<StreamEvent> = Vec::new();
+        loop {
+            let j = cursor.fetch_add(1, Ordering::Relaxed);
+            if j >= n_jobs {
+                break;
+            }
+            let job_start = Instant::now();
+            let r = work(j, inputs_ref.as_slice());
+            let job_end = Instant::now();
+            busy += job_end.duration_since(job_start);
+            events.extend(event(&lane, format!("job #{j}"), t0, job_start, job_end));
+            done.push((j, r));
+        }
+        (busy, done, events)
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n_jobs).map(|_| None).collect();
+    for (busy, done, events) in per_worker {
+        stats.server_busy_s += busy.as_secs_f64();
+        stats.events.extend(events);
+        for (j, r) in done {
+            slots[j] = Some(r);
+        }
+    }
+    for (j, slot) in slots.into_iter().enumerate() {
+        let c_start = Instant::now();
+        consume(j, slot.expect("every job produced a result"));
+        stats.events.extend(event(
+            "assemble",
+            format!("out #{j}"),
+            t0,
+            c_start,
+            Instant::now(),
+        ));
+    }
+    stats.output_items = n_jobs;
+    stats.wall_s = t0.elapsed().as_secs_f64();
+    stats.events.sort_by(|a, b| {
+        a.start_s
+            .partial_cmp(&b.start_s)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    fn cfg(threads: usize, cap: usize) -> StreamConfig {
+        StreamConfig::new(Executor::new(threads), cap)
+    }
+
+    #[test]
+    fn queue_fifo_and_close() {
+        let q: BoundedQueue<u32> = BoundedQueue::bounded(4);
+        q.send(1);
+        q.send(2);
+        assert_eq!(q.recv().0, Some(1));
+        q.close();
+        assert_eq!(q.recv().0, Some(2));
+        assert_eq!(q.recv().0, None);
+    }
+
+    #[test]
+    fn queue_backpressure_blocks_sender() {
+        let q: BoundedQueue<u32> = BoundedQueue::bounded(1);
+        let released = AtomicBool::new(false);
+        thread::scope(|s| {
+            let q = &q;
+            let released = &released;
+            s.spawn(move |_| {
+                q.send(1); // fills the queue
+                let waited = q.send(2); // must block until recv
+                assert!(released.load(Ordering::SeqCst), "send returned before recv");
+                assert!(waited > Duration::ZERO);
+                q.close();
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            released.store(true, Ordering::SeqCst);
+            assert_eq!(q.recv().0, Some(1));
+            assert_eq!(q.recv().0, Some(2));
+            assert_eq!(q.recv().0, None);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn stream_results_consumed_in_order() {
+        for threads in [1usize, 2, 8] {
+            for cap in [1usize, 3, 64] {
+                let mut out = Vec::new();
+                let stats = run_stream(
+                    &cfg(threads, cap),
+                    |feeder| {
+                        for v in 0..50u64 {
+                            feeder.push(v);
+                        }
+                    },
+                    |i, v| {
+                        // uneven cost to shuffle completion order
+                        let spin = (v * 7919) % 50;
+                        let mut acc = 0u64;
+                        for k in 0..spin * 200 {
+                            acc = acc.wrapping_add(k);
+                        }
+                        std::hint::black_box(acc);
+                        (i as u64) * 100 + v
+                    },
+                    |i, r| out.push((i, r)),
+                );
+                let expect: Vec<(usize, u64)> =
+                    (0..50).map(|v| (v as usize, (v as u64) * 101)).collect();
+                assert_eq!(out, expect, "threads={threads} cap={cap}");
+                assert_eq!(stats.input_items, 50);
+                assert_eq!(stats.output_items, 50);
+                assert!(stats.wall_s > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_waits_for_all_inputs() {
+        let seen = Mutex::new(Vec::new());
+        let stats = run_stream_barrier(
+            &cfg(4, 2),
+            3,
+            |feeder| {
+                for v in 0..6u64 {
+                    std::thread::sleep(Duration::from_millis(5));
+                    feeder.push(v);
+                }
+            },
+            |j, inputs: &[u64]| {
+                assert_eq!(inputs.len(), 6, "all inputs staged before any job");
+                j as u64 + inputs.iter().sum::<u64>()
+            },
+            |j, r| seen.lock().unwrap().push((j, r)),
+        );
+        assert_eq!(seen.into_inner().unwrap(), vec![(0, 15), (1, 16), (2, 17)]);
+        assert_eq!(stats.input_items, 6);
+        assert_eq!(stats.output_items, 3);
+        // ~30 ms of upload with 3 parked workers (pool is capped at n_jobs).
+        assert_eq!(stats.server_threads, 3);
+        assert!(
+            stats.server_idle_s >= 0.025 * 3.0,
+            "idle {} too small",
+            stats.server_idle_s
+        );
+    }
+
+    #[test]
+    fn per_input_idle_less_than_barrier_idle() {
+        // Same synthetic layer on a 1-thread server: per-input streaming
+        // overlaps upload with compute; the barrier cannot.
+        let produce = |feeder: &mut Feeder<'_, u64>| {
+            for v in 0..8u64 {
+                std::thread::sleep(Duration::from_millis(4));
+                feeder.push(v);
+            }
+        };
+        let spin = |v: u64| {
+            let t = Instant::now();
+            while t.elapsed() < Duration::from_millis(4) {
+                std::hint::black_box(v);
+            }
+            v
+        };
+        let s1 = run_stream(&cfg(1, 2), produce, |_, v| spin(v), |_, _| {});
+        let s2 = run_stream_barrier(
+            &cfg(1, 2),
+            8,
+            produce,
+            |j, _: &[u64]| spin(j as u64),
+            |_, _| {},
+        );
+        assert!(
+            s1.server_idle_s < s2.server_idle_s,
+            "per-input idle {} should beat barrier idle {}",
+            s1.server_idle_s,
+            s2.server_idle_s
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_shifts_events() {
+        let mut a = StreamStats {
+            wall_s: 1.0,
+            server_idle_s: 0.25,
+            ..StreamStats::default()
+        };
+        let b = StreamStats {
+            wall_s: 2.0,
+            server_idle_s: 0.5,
+            events: vec![StreamEvent {
+                lane: "client".into(),
+                label: "enc #0".into(),
+                start_s: 0.1,
+                end_s: 0.2,
+            }],
+            ..StreamStats::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.wall_s, 3.0);
+        assert_eq!(a.server_idle_s, 0.75);
+        assert_eq!(a.events[0].start_s, 1.1);
+        assert_eq!(a.events[0].end_s, 1.2);
+    }
+
+    #[test]
+    fn config_uses_device_budget() {
+        let ct_bytes = 200_000;
+        let client = DeviceProfile::nexus6().with_capacity(3, ct_bytes);
+        let cfg = StreamConfig::for_client(Executor::new(4), &client, ct_bytes);
+        assert_eq!(cfg.channel_capacity, 3);
+        assert_eq!(StreamConfig::new(Executor::serial(), 0).channel_capacity, 1);
+    }
+}

@@ -1,0 +1,183 @@
+//! Streaming runtime acceptance tests.
+//!
+//! 1. **Determinism** — for every scheme, the streamed execution's
+//!    shares and operation counts are bit-identical to the phased
+//!    driver's for the same rng seed, at 1 and 8 server worker threads
+//!    and small channel capacities (so backpressure actually engages).
+//! 2. **Stall accounting sanity** — on a single-thread server, SPOT's
+//!    measured server idle (the paper's linear computation stall) is
+//!    strictly less than channel-wise packing's on the same layer,
+//!    because SPOT convolves each ciphertext as it arrives while the
+//!    channel-wise barrier parks the worker for the whole upload.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spot_core::executor::Executor;
+use spot_core::inference::{run_conv_backend, ExecBackend, Scheme};
+use spot_core::patching::PatchMode;
+use spot_core::stream::StreamConfig;
+use spot_core::{channelwise, spot};
+use spot_he::context::Context;
+use spot_he::keys::KeyGenerator;
+use spot_he::params::{EncryptionParams, ParamLevel};
+use spot_tensor::tensor::{Kernel, Tensor};
+use std::sync::Arc;
+
+fn ctx4096() -> Arc<Context> {
+    Context::new(EncryptionParams::new(ParamLevel::N4096))
+}
+
+/// Runs one scheme phased and streamed from the same seed and asserts
+/// bit-identical results.
+fn assert_streaming_matches_phased(scheme: Scheme, threads: usize, channel_capacity: usize) {
+    let ctx = ctx4096();
+    let mut keyrng = StdRng::seed_from_u64(9000);
+    let keygen = KeyGenerator::new(&ctx, &mut keyrng);
+    let input = Tensor::random(4, 8, 8, 8, 17);
+    let kernel = Kernel::random(4, 4, 3, 3, 4, 18);
+
+    let mut rng_a = StdRng::seed_from_u64(4242);
+    let (phased, none) = run_conv_backend(
+        &ctx,
+        &keygen,
+        &input,
+        &kernel,
+        1,
+        (4, 4),
+        PatchMode::Tweaked,
+        scheme,
+        &ExecBackend::Phased(Executor::new(threads)),
+        &mut rng_a,
+    );
+    assert!(none.is_none());
+
+    let mut rng_b = StdRng::seed_from_u64(4242);
+    let cfg = StreamConfig::new(Executor::new(threads), channel_capacity);
+    let (streamed, stats) = run_conv_backend(
+        &ctx,
+        &keygen,
+        &input,
+        &kernel,
+        1,
+        (4, 4),
+        PatchMode::Tweaked,
+        scheme,
+        &ExecBackend::Streaming(cfg),
+        &mut rng_b,
+    );
+    let stats = stats.expect("streaming backend reports stats");
+
+    let tag = format!("{} threads={threads} cap={channel_capacity}", scheme.name());
+    assert_eq!(phased.client_share, streamed.client_share, "{tag}");
+    assert_eq!(phased.server_share, streamed.server_share, "{tag}");
+    assert_eq!(phased.counts, streamed.counts, "{tag}");
+    assert_eq!(phased.input_cts, streamed.input_cts, "{tag}");
+    assert_eq!(phased.output_cts, streamed.output_cts, "{tag}");
+    assert_eq!(stats.input_items, streamed.input_cts, "{tag}");
+    assert_eq!(stats.channel_capacity, channel_capacity, "{tag}");
+    assert!(stats.wall_s > 0.0, "{tag}");
+}
+
+#[test]
+fn spot_streaming_deterministic_1_thread() {
+    assert_streaming_matches_phased(Scheme::Spot, 1, 1);
+}
+
+#[test]
+fn spot_streaming_deterministic_8_threads() {
+    assert_streaming_matches_phased(Scheme::Spot, 8, 2);
+}
+
+#[test]
+fn channelwise_streaming_deterministic_1_thread() {
+    assert_streaming_matches_phased(Scheme::CrypTFlow2, 1, 1);
+}
+
+#[test]
+fn channelwise_streaming_deterministic_8_threads() {
+    assert_streaming_matches_phased(Scheme::CrypTFlow2, 8, 2);
+}
+
+#[test]
+fn cheetah_streaming_deterministic_1_thread() {
+    assert_streaming_matches_phased(Scheme::Cheetah, 1, 1);
+}
+
+#[test]
+fn cheetah_streaming_deterministic_8_threads() {
+    assert_streaming_matches_phased(Scheme::Cheetah, 8, 2);
+}
+
+/// Streamed results also reconstruct to the true convolution (guards
+/// against phased and streamed agreeing on a wrong answer).
+#[test]
+fn streamed_results_reconstruct_correctly() {
+    let ctx = ctx4096();
+    let mut rng = StdRng::seed_from_u64(31000);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let input = Tensor::random(4, 8, 8, 8, 71);
+    let kernel = Kernel::random(4, 4, 3, 3, 4, 72);
+    let want = spot_tensor::conv::conv2d(&input, &kernel, 1);
+    for scheme in Scheme::ALL {
+        let cfg = StreamConfig::new(Executor::new(4), 2);
+        let (res, _) = run_conv_backend(
+            &ctx,
+            &keygen,
+            &input,
+            &kernel,
+            1,
+            (4, 4),
+            PatchMode::Tweaked,
+            scheme,
+            &ExecBackend::Streaming(cfg),
+            &mut rng,
+        );
+        assert_eq!(res.reconstruct(), want, "scheme {}", scheme.name());
+    }
+}
+
+/// The measured stall comparison of the paper, scaled down to a
+/// test-sized Table-I-class layer (16×16 map, C_i = 32 → two
+/// channel-wise input ciphertexts at N4096): on a single-thread server
+/// with the same tiny-client channel budget, SPOT's per-input streaming
+/// keeps the worker busy during the upload while the channel-wise
+/// barrier parks it until the last ciphertext lands.
+#[test]
+fn spot_server_idle_below_channelwise_on_table1_layer() {
+    let ctx = ctx4096();
+    let mut keyrng = StdRng::seed_from_u64(5150);
+    let keygen = KeyGenerator::new(&ctx, &mut keyrng);
+    let input = Tensor::random(32, 16, 16, 4, 81);
+    let kernel = Kernel::random(4, 32, 3, 3, 3, 82);
+    let cfg = StreamConfig::new(Executor::serial(), 2);
+
+    let mut rng = StdRng::seed_from_u64(6100);
+    let (cw_res, cw_stats) =
+        channelwise::execute_streaming(&ctx, &keygen, &input, &kernel, 1, &cfg, &mut rng);
+    assert!(
+        cw_res.input_cts >= 2,
+        "layer must need several uploads to expose the stall, got {}",
+        cw_res.input_cts
+    );
+
+    let mut rng = StdRng::seed_from_u64(6200);
+    let (spot_res, spot_stats) = spot::execute_streaming(
+        &ctx,
+        &keygen,
+        &input,
+        &kernel,
+        1,
+        (4, 4),
+        PatchMode::Tweaked,
+        &cfg,
+        &mut rng,
+    );
+    assert!(spot_res.input_cts >= 2);
+
+    assert!(
+        spot_stats.server_idle_s < cw_stats.server_idle_s,
+        "SPOT measured server idle {:.4}s must be below channel-wise {:.4}s",
+        spot_stats.server_idle_s,
+        cw_stats.server_idle_s
+    );
+}

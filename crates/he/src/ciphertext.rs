@@ -2,6 +2,7 @@
 
 use crate::context::Context;
 use crate::poly::Poly;
+use crate::pool;
 use std::sync::Arc;
 
 /// A size-2 BFV ciphertext `(c0, c1)` satisfying
@@ -87,11 +88,17 @@ impl Ciphertext {
         );
         let mut off = 16usize;
         let mut read_poly = || {
-            let mut data = Vec::with_capacity(k * n);
-            for m in ctx.moduli() {
+            // Every element is written below, so a dirty pooled buffer is
+            // fine.
+            let mut data = pool::take(k * n);
+            for (i, m) in ctx.moduli().iter().enumerate() {
                 let bits = 64 - m.value().leading_zeros() as usize;
                 let section = (n * bits).div_ceil(8);
-                data.extend(unpack_bits(&bytes[off..off + section], bits, n));
+                unpack_bits_into(
+                    &bytes[off..off + section],
+                    bits,
+                    &mut data[i * n..(i + 1) * n],
+                );
                 off += section;
             }
             Poly::from_residues(ctx, data, PolyForm::Ntt)
@@ -120,9 +127,16 @@ pub fn pack_bits(values: &[u64], bits: usize) -> Vec<u8> {
 
 /// Unpacks `count` values of `bits` bits each from a byte stream.
 pub fn unpack_bits(bytes: &[u8], bits: usize, count: usize) -> Vec<u64> {
-    let mut out = Vec::with_capacity(count);
+    let mut out = vec![0u64; count];
+    unpack_bits_into(bytes, bits, &mut out);
+    out
+}
+
+/// Unpacks `out.len()` values of `bits` bits each into an existing
+/// buffer (overwrites every element).
+pub fn unpack_bits_into(bytes: &[u8], bits: usize, out: &mut [u64]) {
     let mut bitpos = 0usize;
-    for _ in 0..count {
+    for slot in out.iter_mut() {
         let mut v = 0u64;
         for b in 0..bits {
             let p = bitpos + b;
@@ -130,10 +144,9 @@ pub fn unpack_bits(bytes: &[u8], bits: usize, count: usize) -> Vec<u64> {
                 v |= 1 << b;
             }
         }
-        out.push(v);
+        *slot = v;
         bitpos += bits;
     }
-    out
 }
 
 #[cfg(test)]

@@ -9,12 +9,27 @@
 
 use crate::context::Context;
 use crate::poly::Poly;
+use crate::pool;
 use std::sync::Arc;
 
 /// A plaintext polynomial over `Z_t` in coefficient form.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub struct Plaintext {
     coeffs: Vec<u64>,
+}
+
+impl Clone for Plaintext {
+    fn clone(&self) -> Self {
+        let mut coeffs = pool::take(self.coeffs.len());
+        coeffs.copy_from_slice(&self.coeffs);
+        Self { coeffs }
+    }
+}
+
+impl Drop for Plaintext {
+    fn drop(&mut self) {
+        pool::recycle(std::mem::take(&mut self.coeffs));
+    }
 }
 
 impl Plaintext {
@@ -102,7 +117,7 @@ impl BatchEncoder {
         assert!(values.len() <= n, "too many values for slot count");
         let t = self.ctx.params().plain_modulus();
         let map = self.ctx.slot_index_map();
-        let mut m = vec![0u64; n];
+        let mut m = pool::take_zeroed(n);
         for (i, &v) in values.iter().enumerate() {
             assert!(
                 v < t,

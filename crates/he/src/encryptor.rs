@@ -11,6 +11,7 @@ use crate::context::Context;
 use crate::encoding::Plaintext;
 use crate::keys::{sample_error, sample_ternary, sample_uniform, PublicKey, SecretKey};
 use crate::poly::Poly;
+use crate::pool;
 use rand::Rng;
 use std::sync::Arc;
 
@@ -57,7 +58,7 @@ impl Encryptor {
     /// Encrypts the all-zero plaintext (used by the server to produce
     /// masking ciphertexts).
     pub fn encrypt_zero<R: Rng>(&self, rng: &mut R) -> Ciphertext {
-        let zero = Plaintext::from_coeffs(vec![0u64; self.ctx.degree()]);
+        let zero = Plaintext::from_coeffs(pool::take_zeroed(self.ctx.degree()));
         self.encrypt(&zero, rng)
     }
 }
@@ -129,7 +130,9 @@ impl Decryptor {
         let t = ctx.params().plain_modulus();
         let phase = self.phase(ct);
         let q = ctx.q_big();
-        let mut coeffs = vec![0u64; n];
+        // Every coefficient is written below, so a dirty pooled buffer is
+        // fine; the buffer recycles when the Plaintext drops.
+        let mut coeffs = pool::take(n);
         let mut residues = vec![0u64; k];
         for j in 0..n {
             for i in 0..k {

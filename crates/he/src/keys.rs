@@ -7,6 +7,7 @@
 
 use crate::context::Context;
 use crate::poly::{Poly, PolyForm};
+use crate::pool;
 use rand::Rng;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -38,7 +39,8 @@ pub(crate) fn sample_error<R: Rng>(ctx: &Arc<Context>, rng: &mut R) -> Poly {
 pub(crate) fn sample_uniform<R: Rng>(ctx: &Arc<Context>, rng: &mut R) -> Poly {
     let n = ctx.degree();
     let k = ctx.moduli_count();
-    let mut data = vec![0u64; k * n];
+    // Every element is written below, so a dirty pooled buffer is fine.
+    let mut data = pool::take(k * n);
     for (i, m) in ctx.moduli().iter().enumerate() {
         for j in 0..n {
             data[i * n + j] = rng.gen_range(0..m.value());

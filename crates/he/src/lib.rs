@@ -43,6 +43,7 @@ pub mod modulus;
 pub mod ntt;
 pub mod params;
 pub mod poly;
+pub mod pool;
 pub mod primes;
 
 /// Convenient re-exports of the main API types.

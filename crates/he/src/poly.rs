@@ -7,6 +7,7 @@
 //! multiplication, scalar multiplication and Galois automorphisms.
 
 use crate::context::Context;
+use crate::pool;
 use std::sync::Arc;
 
 /// Representation of a polynomial's residues.
@@ -19,7 +20,7 @@ pub enum PolyForm {
 }
 
 /// An RNS polynomial bound to a [`Context`].
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Poly {
     ctx: Arc<Context>,
     /// `moduli_count * degree` residues, residue-major.
@@ -27,12 +28,30 @@ pub struct Poly {
     form: PolyForm,
 }
 
+impl Clone for Poly {
+    fn clone(&self) -> Self {
+        let mut data = pool::take(self.data.len());
+        data.copy_from_slice(&self.data);
+        Self {
+            ctx: Arc::clone(&self.ctx),
+            data,
+            form: self.form,
+        }
+    }
+}
+
+impl Drop for Poly {
+    fn drop(&mut self) {
+        pool::recycle(std::mem::take(&mut self.data));
+    }
+}
+
 impl Poly {
     /// The zero polynomial in the given form.
     pub fn zero(ctx: &Arc<Context>, form: PolyForm) -> Self {
         Self {
             ctx: Arc::clone(ctx),
-            data: vec![0u64; ctx.moduli_count() * ctx.degree()],
+            data: pool::take_zeroed(ctx.moduli_count() * ctx.degree()),
             form,
         }
     }
@@ -57,7 +76,8 @@ impl Poly {
         assert_eq!(coeffs.len(), ctx.degree());
         let n = ctx.degree();
         let k = ctx.moduli_count();
-        let mut data = vec![0u64; k * n];
+        // Every element is written below, so a dirty pooled buffer is fine.
+        let mut data = pool::take(k * n);
         for (i, m) in ctx.moduli().iter().enumerate() {
             for (j, &c) in coeffs.iter().enumerate() {
                 data[i * n + j] = if c >= 0 {

@@ -59,6 +59,76 @@ impl Table {
     }
 }
 
+/// One scheme's measured streaming-pipeline timing, as produced by the
+/// real streaming runtime in `spot-core::stream` (this crate only
+/// renders it — core depends on pipeline, not the reverse).
+///
+/// All `*_s` fields are wall-clock seconds except the two server
+/// fields, which are **thread-seconds** summed across workers (on a
+/// single-thread server the two notions coincide, which is how the
+/// paper-style stall comparison is read).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StallRow {
+    /// Scheme name (`SPOT`, `Channel-wise`, `Cheetah`).
+    pub scheme: String,
+    /// End-to-end wall-clock time of the streamed layer.
+    pub wall_s: f64,
+    /// Client active time (packing + encryption + assembly).
+    pub client_s: f64,
+    /// Client time blocked on channel backpressure (out of memory for
+    /// another in-flight ciphertext).
+    pub client_blocked_s: f64,
+    /// Server thread-seconds spent convolving.
+    pub server_busy_s: f64,
+    /// Server thread-seconds idle, waiting for ciphertexts to arrive —
+    /// the paper's "linear computation stall".
+    pub server_idle_s: f64,
+    /// Input ciphertexts streamed client → server.
+    pub input_cts: usize,
+    /// Output ciphertexts returned server → client.
+    pub output_cts: usize,
+    /// Bounded-channel capacity (the client's ciphertext budget).
+    pub channel_capacity: usize,
+    /// Server worker threads.
+    pub server_threads: usize,
+}
+
+/// Renders measured stall accounting for a set of schemes as a table
+/// (the measured counterpart of the simulator's Table I/II stall
+/// columns).
+pub fn stall_table(title: impl Into<String>, rows: &[StallRow]) -> String {
+    let mut t = Table::new(
+        title,
+        &[
+            "scheme",
+            "wall",
+            "client",
+            "client blocked",
+            "server busy",
+            "server idle",
+            "in cts",
+            "out cts",
+            "chan cap",
+            "threads",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.scheme.clone(),
+            secs(r.wall_s),
+            secs(r.client_s),
+            secs(r.client_blocked_s),
+            secs(r.server_busy_s),
+            secs(r.server_idle_s),
+            r.input_cts.to_string(),
+            r.output_cts.to_string(),
+            r.channel_capacity.to_string(),
+            r.server_threads.to_string(),
+        ]);
+    }
+    t.render()
+}
+
 /// Formats seconds with 3 decimal places and an `s` suffix.
 pub fn secs(v: f64) -> String {
     format!("{v:.3}s")
