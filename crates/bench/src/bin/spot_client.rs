@@ -1,0 +1,181 @@
+//! Data-owner client for the two-process TinyCnn demo: connects to a
+//! running `spot-server`, drives the full secure inference over TCP,
+//! and checks the reconstructed output against both the plaintext
+//! forward pass and an in-process `MemTransport` reference run.
+//!
+//! ```text
+//! spot-client [--connect 127.0.0.1:7341] [--scheme spot|channelwise|cheetah]
+//!             [--seed S] [--link lan|wlan]
+//! ```
+//!
+//! Prints `output vs plain: MATCH` / `output vs reference: MATCH` on
+//! success (the loopback e2e CI job greps for these).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spot_core::executor::Executor;
+use spot_core::inference::TinyCnn;
+use spot_core::patching::PatchMode;
+use spot_core::session::{ExecBackend, SchemeKind};
+use spot_core::twoparty::{run_client, run_server};
+use spot_he::context::Context;
+use spot_he::keys::KeyGenerator;
+use spot_he::params::{EncryptionParams, ParamLevel};
+use spot_pipeline::report::{transfer_table, TransferRow};
+use spot_proto::channel::LinkModel;
+use spot_proto::transport::{MemTransport, TcpTransport, Transport, TransportStats};
+use spot_tensor::tensor::Tensor;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn connect_with_retry(addr: &str) -> TcpTransport {
+    for _ in 0..100 {
+        match TcpTransport::connect(addr) {
+            Ok(t) => return t,
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+    panic!("could not connect to spot-server at {addr}");
+}
+
+/// Runs the same client logic against an in-process server over a
+/// `MemTransport` pair, returning the output and the client-side
+/// transport accounting.
+fn mem_reference(
+    ctx: &Arc<Context>,
+    cnn: &TinyCnn,
+    input: &Tensor,
+    scheme: SchemeKind,
+    seed: u64,
+) -> (Tensor, TransportStats) {
+    let (ct, st) = MemTransport::pair();
+    let ctx_s = Arc::clone(ctx);
+    let cnn_s = cnn.clone();
+    let server = std::thread::spawn(move || {
+        let mut rng = StdRng::seed_from_u64(1312);
+        run_server(
+            &ctx_s,
+            &st,
+            &cnn_s,
+            &ExecBackend::Phased(Executor::serial()),
+            &mut rng,
+        )
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kg = KeyGenerator::new(ctx, &mut rng);
+    let out = run_client(
+        ctx,
+        &kg,
+        &ct,
+        input,
+        cnn,
+        scheme,
+        (4, 4),
+        PatchMode::Tweaked,
+        &mut rng,
+    )
+    .expect("reference client run");
+    server
+        .join()
+        .expect("reference server thread")
+        .expect("reference server run");
+    (out, ct.stats())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let addr = arg_value(&args, "--connect").unwrap_or_else(|| "127.0.0.1:7341".into());
+    let scheme = match arg_value(&args, "--scheme").as_deref().unwrap_or("spot") {
+        "spot" => SchemeKind::Spot,
+        "channelwise" => SchemeKind::Channelwise,
+        "cheetah" => SchemeKind::Cheetah,
+        other => panic!("unknown scheme {other:?} (use spot|channelwise|cheetah)"),
+    };
+    let seed: u64 = arg_value(&args, "--seed")
+        .map(|v| v.parse().expect("--seed takes a number"))
+        .unwrap_or(99);
+    let link = match arg_value(&args, "--link").as_deref().unwrap_or("lan") {
+        "wlan" => LinkModel::wlan(),
+        _ => LinkModel::lan(),
+    };
+
+    let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
+    let cnn = TinyCnn::new(7);
+    let input = Tensor::random(2, 8, 8, 5, 9);
+    let want = cnn.forward_plain(&input);
+
+    println!("spot-client: in-process MemTransport reference run...");
+    let (ref_out, ref_stats) = mem_reference(&ctx, &cnn, &input, scheme, seed);
+
+    println!("spot-client: connecting to {addr} (scheme {scheme:?})");
+    let transport = connect_with_retry(&addr);
+    let t0 = std::time::Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kg = KeyGenerator::new(&ctx, &mut rng);
+    let out = run_client(
+        &ctx,
+        &kg,
+        &transport,
+        &input,
+        &cnn,
+        scheme,
+        (4, 4),
+        PatchMode::Tweaked,
+        &mut rng,
+    )
+    .expect("client session");
+    let wall = t0.elapsed().as_secs_f64();
+
+    let plain_ok = out == want;
+    let ref_ok = out == ref_out;
+    println!(
+        "output vs plain: {}",
+        if plain_ok { "MATCH" } else { "MISMATCH" }
+    );
+    println!(
+        "output vs reference: {}",
+        if ref_ok { "MATCH" } else { "MISMATCH" }
+    );
+
+    let stats = transport.stats();
+    let traffic_ok = stats.sent == ref_stats.sent
+        && stats.received.bytes == ref_stats.received.bytes
+        && stats.received.messages == ref_stats.received.messages;
+    println!(
+        "traffic vs reference: {}",
+        if traffic_ok { "MATCH" } else { "MISMATCH" }
+    );
+    println!(
+        "{}",
+        transfer_table(
+            "Client-side wire traffic (measured vs link model)",
+            &[
+                TransferRow {
+                    direction: "client -> server".into(),
+                    bytes: stats.sent.bytes,
+                    messages: stats.sent.messages,
+                    measured_s: stats.send_blocked.as_secs_f64(),
+                    modeled_s: link.transfer_time(stats.sent.bytes as usize),
+                },
+                TransferRow {
+                    direction: "server -> client".into(),
+                    bytes: stats.received.bytes,
+                    messages: stats.received.messages,
+                    measured_s: 0.0,
+                    modeled_s: link.transfer_time(stats.received.bytes as usize),
+                },
+            ]
+        )
+    );
+    println!("spot-client: end-to-end wall {wall:.3}s over TCP");
+    if !(plain_ok && ref_ok && traffic_ok) {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Model-owner server for the two-process TinyCnn demo: listens on a
+//! TCP socket, serves both convolution sessions plus the non-linear
+//! rounds over the typed wire protocol, and prints the stall/traffic
+//! report for the run.
+//!
+//! ```text
+//! spot-server [--listen 127.0.0.1:7341] [--backend streaming|phased]
+//!             [--threads N] [--capacity N] [--seed S]
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spot_core::executor::Executor;
+use spot_core::inference::TinyCnn;
+use spot_core::session::ExecBackend;
+use spot_core::stream::StreamConfig;
+use spot_core::twoparty::run_server;
+use spot_he::context::Context;
+use spot_he::params::{EncryptionParams, ParamLevel};
+use spot_pipeline::report::{stall_table, transfer_table, TransferRow};
+use spot_proto::channel::LinkModel;
+use spot_proto::transport::{TcpTransport, Transport};
+use std::net::TcpListener;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let listen = arg_value(&args, "--listen").unwrap_or_else(|| "127.0.0.1:7341".into());
+    let backend_name = arg_value(&args, "--backend").unwrap_or_else(|| "streaming".into());
+    let threads: usize = arg_value(&args, "--threads")
+        .map(|v| v.parse().expect("--threads takes a number"))
+        .unwrap_or(2);
+    let capacity: usize = arg_value(&args, "--capacity")
+        .map(|v| v.parse().expect("--capacity takes a number"))
+        .unwrap_or(2);
+    let seed: u64 = arg_value(&args, "--seed")
+        .map(|v| v.parse().expect("--seed takes a number"))
+        .unwrap_or(1312);
+    let backend = match backend_name.as_str() {
+        "phased" => ExecBackend::Phased(Executor::new(threads)),
+        "streaming" => ExecBackend::Streaming(StreamConfig::new(Executor::new(threads), capacity)),
+        other => panic!("unknown backend {other:?} (use streaming|phased)"),
+    };
+
+    let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
+    let cnn = TinyCnn::new(7);
+
+    let listener = TcpListener::bind(&listen).expect("bind listen address");
+    println!(
+        "spot-server: listening on {} (backend {backend_name}, {threads} threads)",
+        listener.local_addr().expect("local addr")
+    );
+    let (stream, peer) = listener.accept().expect("accept client");
+    println!("spot-server: client connected from {peer}");
+    let transport = TcpTransport::from_stream(stream).expect("wrap stream");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let report = run_server(&ctx, &transport, &cnn, &backend, &mut rng).expect("server session");
+
+    println!(
+        "spot-server: done — {} input cts, {} output cts, {} rotations, {} plain mults",
+        report.input_cts, report.output_cts, report.counts.rotate, report.counts.mult_plain
+    );
+    if report.stream.input_items > 0 {
+        println!(
+            "{}",
+            stall_table(
+                "Measured stall accounting (both conv layers)",
+                &[report.stream.stall_row("TinyCnn server")]
+            )
+        );
+    }
+    let stats = transport.stats();
+    let link = LinkModel::lan();
+    println!(
+        "{}",
+        transfer_table(
+            "Server-side wire traffic (measured vs LAN model)",
+            &[
+                TransferRow {
+                    direction: "client -> server".into(),
+                    bytes: stats.received.bytes,
+                    messages: stats.received.messages,
+                    measured_s: 0.0,
+                    modeled_s: link.transfer_time(stats.received.bytes as usize),
+                },
+                TransferRow {
+                    direction: "server -> client".into(),
+                    bytes: stats.sent.bytes,
+                    messages: stats.sent.messages,
+                    measured_s: stats.send_blocked.as_secs_f64(),
+                    modeled_s: link.transfer_time(stats.sent.bytes as usize),
+                },
+            ]
+        )
+    );
+}

@@ -7,22 +7,25 @@
 //! input channels, the per-ciphertext partial results must be summed
 //! across input ciphertexts — the cross-ciphertext dependency that
 //! causes the linear computation stall on tiny clients.
+//!
+//! The drivers here are thin wrappers over the session layer
+//! ([`crate::session`]): client and server run as separate state
+//! machines over an in-process transport exchanging real wire frames.
 
 use crate::executor::Executor;
-use crate::heconv::{ChannelMap, ConvRequest, GroupSpec, HeConvEngine};
-use crate::layout::{next_pow2, LaneLayout};
-use crate::stream::{run_stream_barrier, StreamConfig, StreamStats};
+use crate::heconv::{ChannelMap, GroupSpec};
+use crate::layout::next_pow2;
+use crate::patching::PatchMode;
+use crate::session::{run_in_process, ExecBackend, SchemeKind};
+use crate::stream::{StreamConfig, StreamStats};
 use rand::Rng;
-use spot_he::ciphertext::Ciphertext;
 use spot_he::context::Context;
-use spot_he::encryptor::{Decryptor, Encryptor};
 use spot_he::evaluator::OpCounts;
 use spot_he::keys::KeyGenerator;
 use spot_he::params::ParamLevel;
 use spot_pipeline::plan::{ConvPlan, OutputDependency};
 use spot_tensor::models::ConvShape;
 use spot_tensor::tensor::{Kernel, Tensor};
-use std::sync::mpsc;
 use std::sync::Arc;
 
 /// Geometry of a channel-wise packing for one layer.
@@ -110,7 +113,9 @@ impl SecureConvResult {
     }
 }
 
-fn channel_map(geo: &ChannelwiseGeometry, ct: usize, c_in: usize) -> ChannelMap {
+/// Input-channel placement for ciphertext `ct`: `map[lane][block]` is
+/// the channel packed there, if any.
+pub(crate) fn channel_map(geo: &ChannelwiseGeometry, ct: usize, c_in: usize) -> ChannelMap {
     let mut map = vec![vec![None; geo.blocks_per_lane]; 2];
     for (lane, row) in map.iter_mut().enumerate() {
         if lane == 1 && !geo.both_lanes {
@@ -126,7 +131,9 @@ fn channel_map(geo: &ChannelwiseGeometry, ct: usize, c_in: usize) -> ChannelMap 
     map
 }
 
-fn group_spec(geo: &ChannelwiseGeometry, out_ct: usize, c_out: usize) -> GroupSpec {
+/// Output-channel placement for output ciphertext `out_ct` (same layout
+/// rule as [`channel_map`] against `c_out`).
+pub(crate) fn group_spec(geo: &ChannelwiseGeometry, out_ct: usize, c_out: usize) -> GroupSpec {
     let mut out_ch = vec![vec![None; geo.blocks_per_lane]; 2];
     for (lane, row) in out_ch.iter_mut().enumerate() {
         if lane == 1 && !geo.both_lanes {
@@ -148,7 +155,7 @@ fn group_spec(geo: &ChannelwiseGeometry, out_ct: usize, c_out: usize) -> GroupSp
 /// # Panics
 ///
 /// Panics if the shape does not fit the level (see [`geometry`]) or the
-/// level does not support rotations.
+/// session fails (in-process transports cannot fail in normal use).
 pub fn execute<R: Rng>(
     ctx: &Arc<Context>,
     keygen: &KeyGenerator,
@@ -170,7 +177,7 @@ pub fn execute<R: Rng>(
 /// # Panics
 ///
 /// Panics if the shape does not fit the level (see [`geometry`]) or the
-/// level does not support rotations.
+/// session fails (in-process transports cannot fail in normal use).
 pub fn execute_with<R: Rng>(
     ctx: &Arc<Context>,
     keygen: &KeyGenerator,
@@ -180,201 +187,39 @@ pub fn execute_with<R: Rng>(
     executor: &Executor,
     rng: &mut R,
 ) -> SecureConvResult {
-    let shape = ConvShape {
-        width: input.width(),
-        height: input.height(),
-        c_in: input.channels(),
-        c_out: kernel.out_channels(),
-        k_h: kernel.k_h(),
-        k_w: kernel.k_w(),
-        stride,
-    };
-    let level = ctx.params().level();
-    let geo = geometry(&shape, level);
-    let lane = ctx.degree() / 2;
-    let layout = LaneLayout::new(lane, geo.blocks_per_lane, input.height(), input.width());
-    let t = ctx.params().plain_modulus();
-
-    let engine = HeConvEngine::new(
+    run_in_process(
         ctx,
         keygen,
-        &layout,
-        kernel.k_h(),
-        kernel.k_w(),
-        geo.blocks_per_lane,
-        geo.output_cts,
-        &[],
-        geo.both_lanes,
-        false,
+        input,
+        kernel,
+        stride,
+        (0, 0),
+        PatchMode::Vanilla,
+        SchemeKind::Channelwise,
+        &ExecBackend::Phased(*executor),
         rng,
-    );
-    let mut counts = OpCounts::default();
-
-    // --- client: pack and encrypt ---
-    let encryptor = Encryptor::new(ctx, keygen.public_key(rng));
-    let mut input_cts: Vec<Ciphertext> = Vec::with_capacity(geo.input_cts);
-    for j in 0..geo.input_cts {
-        let mut slots = vec![0u64; ctx.degree()];
-        let map = channel_map(&geo, j, input.channels());
-        for (lane_idx, row) in map.iter().enumerate() {
-            for (b, ch) in row.iter().enumerate() {
-                let Some(c) = *ch else { continue };
-                for y in 0..input.height() {
-                    for x in 0..input.width() {
-                        slots[lane_idx * lane + layout.slot(b, 0, y, x)] =
-                            input.at(c, y, x).rem_euclid(t as i64) as u64;
-                    }
-                }
-            }
-        }
-        input_cts.push(encryptor.encrypt(&engine.encoder().encode(&slots), rng));
-        counts.encrypt += 1;
-    }
-
-    // --- server: MIMO conv per input ct, then cross-ct accumulation ---
-    let groups: Vec<GroupSpec> = (0..geo.output_cts)
-        .map(|k| group_spec(&geo, k, kernel.out_channels()))
-        .collect();
-    let mut out_cts: Vec<Option<Ciphertext>> = vec![None; geo.output_cts];
-    // Parallel phase (pure): per-ciphertext MIMO convolutions.
-    let per_ct = executor.run(&input_cts, |j, ct| {
-        let map = channel_map(&geo, j, input.channels());
-        let mut in_maps = vec![map.clone()];
-        if geo.both_lanes {
-            // column-swapped version: lanes exchanged
-            in_maps.push(vec![map[1].clone(), map[0].clone()]);
-        }
-        let mut c = OpCounts::default();
-        let partials = engine.conv_one_ct(
-            ct,
-            &ConvRequest {
-                layout: &layout,
-                in_maps: &in_maps,
-                groups: &groups,
-                diagonals: geo.blocks_per_lane,
-                fold_steps: &[],
-                kernel,
-                // per-input-ct channel maps → distinct cache entries
-                cache_tag: j,
-            },
-            &mut c,
-        );
-        (partials, c)
-    });
-    // Sequential cross-ciphertext accumulation, in input order exactly
-    // as a serial run would add the partials.
-    for (partials, c) in per_ct {
-        counts.merge(&c);
-        for (k, p) in partials.into_iter().enumerate() {
-            match &mut out_cts[k] {
-                None => out_cts[k] = Some(p),
-                Some(acc) => {
-                    engine.evaluator().add_inplace(acc, &p);
-                    counts.add += 1;
-                }
-            }
-        }
-    }
-
-    // --- server: additive masking, client: decrypt + extract ---
-    let decryptor = Decryptor::new(ctx, keygen.secret_key().clone());
-    let (client_share, server_share) = mask_and_extract(
-        ctx,
-        &engine,
-        &decryptor,
-        &layout,
-        &groups,
-        out_cts,
-        kernel.out_channels(),
-        &shape,
-        &mut counts,
-        rng,
-    );
-
-    SecureConvResult {
-        client_share,
-        server_share,
-        counts,
-        input_cts: geo.input_cts,
-        output_cts: geo.output_cts,
-        modulus: t,
-    }
-}
-
-/// Masks every accumulated output ciphertext, decrypts, and extracts
-/// the strided shares (the sequential client/server tail shared by the
-/// phased and streaming drivers). Mask randomness is drawn from `rng`
-/// in output-ciphertext order.
-#[allow(clippy::too_many_arguments)]
-fn mask_and_extract<R: Rng>(
-    ctx: &Arc<Context>,
-    engine: &HeConvEngine,
-    decryptor: &Decryptor,
-    layout: &LaneLayout,
-    groups: &[GroupSpec],
-    out_cts: Vec<Option<Ciphertext>>,
-    c_out: usize,
-    shape: &ConvShape,
-    counts: &mut OpCounts,
-    rng: &mut R,
-) -> (Tensor, Tensor) {
-    let t = ctx.params().plain_modulus();
-    let lane = ctx.degree() / 2;
-    let stride = shape.stride;
-    let oh = shape.out_height();
-    let ow = shape.out_width();
-    let mut client_share = Tensor::zeros(c_out, oh, ow);
-    let mut server_share = Tensor::zeros(c_out, oh, ow);
-    for (k, maybe_ct) in out_cts.into_iter().enumerate() {
-        let ct = maybe_ct.expect("every output group produced");
-        let r: Vec<u64> = (0..ctx.degree()).map(|_| rng.gen_range(0..t)).collect();
-        let masked = engine
-            .evaluator()
-            .sub_plain(&ct, &engine.encoder().encode(&r));
-        counts.add += 1;
-        let decoded = engine.encoder().decode(&decryptor.decrypt(&masked));
-        counts.decrypt += 1;
-        let spec = &groups[k];
-        for (lane_idx, row) in spec.out_ch.iter().enumerate() {
-            for (b, ch) in row.iter().enumerate() {
-                let Some(o) = *ch else { continue };
-                for y in 0..oh {
-                    for x in 0..ow {
-                        let idx = lane_idx * lane + layout.slot(b, 0, y * stride, x * stride);
-                        let cv = decoded[idx];
-                        let rv = r[idx];
-                        *client_share.at_mut(o, y, x) = if cv > t / 2 {
-                            cv as i64 - t as i64
-                        } else {
-                            cv as i64
-                        };
-                        *server_share.at_mut(o, y, x) = rv as i64;
-                    }
-                }
-            }
-        }
-    }
-    (client_share, server_share)
+    )
+    .expect("in-process channelwise session")
+    .result
 }
 
 /// Executes the channel-wise secure convolution as a streamed upload:
-/// the client pushes every packed ciphertext through the bounded
-/// channel of [`crate::stream::run_stream_barrier`], but because every
-/// output ciphertext needs **all** input ciphertexts
-/// ([`OutputDependency::AllInputs`]), no server job can start until the
-/// last upload lands — the measured server idle is the linear
-/// computation stall this baseline pays on tiny clients.
+/// the client pushes every packed ciphertext through a bounded
+/// in-process transport, but because every output ciphertext needs
+/// **all** input ciphertexts ([`OutputDependency::AllInputs`]), no
+/// server job can start until the last upload lands — the measured
+/// server idle is the linear computation stall this baseline pays on
+/// tiny clients.
 ///
-/// Randomness is drawn in exactly the phased order (rotation keys →
-/// public key → encryptions on the producer thread; masks on the
-/// caller's thread after the fan-out), so shares and op counts are
-/// bit-identical to [`execute_with`] for any worker count and channel
-/// capacity, given the same rng seed.
+/// Client and server randomness are split from `rng` exactly as in the
+/// phased driver, so shares and op counts are bit-identical to
+/// [`execute_with`] for any worker count and channel capacity, given
+/// the same rng seed.
 ///
 /// # Panics
 ///
 /// Panics if the shape does not fit the level (see [`geometry`]) or the
-/// level does not support rotations.
+/// session fails (in-process transports cannot fail in normal use).
 pub fn execute_streaming<R: Rng + Send>(
     ctx: &Arc<Context>,
     keygen: &KeyGenerator,
@@ -384,149 +229,23 @@ pub fn execute_streaming<R: Rng + Send>(
     config: &StreamConfig,
     rng: &mut R,
 ) -> (SecureConvResult, StreamStats) {
-    let shape = ConvShape {
-        width: input.width(),
-        height: input.height(),
-        c_in: input.channels(),
-        c_out: kernel.out_channels(),
-        k_h: kernel.k_h(),
-        k_w: kernel.k_w(),
-        stride,
-    };
-    let level = ctx.params().level();
-    let geo = geometry(&shape, level);
-    let lane = ctx.degree() / 2;
-    let layout = LaneLayout::new(lane, geo.blocks_per_lane, input.height(), input.width());
-    let t = ctx.params().plain_modulus();
-    let groups: Vec<GroupSpec> = (0..geo.output_cts)
-        .map(|k| group_spec(&geo, k, kernel.out_channels()))
-        .collect();
-
-    let mut counts = OpCounts::default();
-    // The engine is built on the producer thread (its rotation keys are
-    // the first rng draws, as in the phased driver) and shipped back for
-    // the caller's masking tail.
-    let (engine_tx, engine_rx) = mpsc::channel::<Arc<HeConvEngine>>();
-
-    let layout_ref = &layout;
-    let groups_ref = &groups;
-    let geo_ref = &geo;
-    let rng_ref = &mut *rng;
-
-    let mut per_ct: Vec<(Vec<Ciphertext>, OpCounts)> = Vec::with_capacity(geo.input_cts);
-    let stats = run_stream_barrier(
-        config,
-        geo.input_cts,
-        // Producer: rotation keys, public key, then pack + encrypt each
-        // input ciphertext — all rng draws in phased order.
-        move |feeder| {
-            let engine = Arc::new(HeConvEngine::new(
-                ctx,
-                keygen,
-                layout_ref,
-                kernel.k_h(),
-                kernel.k_w(),
-                geo_ref.blocks_per_lane,
-                geo_ref.output_cts,
-                &[],
-                geo_ref.both_lanes,
-                false,
-                rng_ref,
-            ));
-            engine_tx
-                .send(engine.clone())
-                .expect("caller holds the engine receiver");
-            let encryptor = Encryptor::new(ctx, keygen.public_key(rng_ref));
-            for j in 0..geo_ref.input_cts {
-                let mut slots = vec![0u64; ctx.degree()];
-                let map = channel_map(geo_ref, j, input.channels());
-                for (lane_idx, row) in map.iter().enumerate() {
-                    for (b, ch) in row.iter().enumerate() {
-                        let Some(c) = *ch else { continue };
-                        for y in 0..input.height() {
-                            for x in 0..input.width() {
-                                slots[lane_idx * lane + layout_ref.slot(b, 0, y, x)] =
-                                    input.at(c, y, x).rem_euclid(t as i64) as u64;
-                            }
-                        }
-                    }
-                }
-                let ct = encryptor.encrypt(&engine.encoder().encode(&slots), rng_ref);
-                feeder.push((engine.clone(), ct));
-            }
-        },
-        // Server job (after the barrier): the MIMO convolution of input
-        // ciphertext `j` against every output group.
-        |j, inputs: &[(Arc<HeConvEngine>, Ciphertext)]| {
-            let (engine, ct) = &inputs[j];
-            let map = channel_map(geo_ref, j, input.channels());
-            let mut in_maps = vec![map.clone()];
-            if geo_ref.both_lanes {
-                in_maps.push(vec![map[1].clone(), map[0].clone()]);
-            }
-            let mut c = OpCounts::default();
-            let partials = engine.conv_one_ct(
-                ct,
-                &ConvRequest {
-                    layout: layout_ref,
-                    in_maps: &in_maps,
-                    groups: groups_ref,
-                    diagonals: geo_ref.blocks_per_lane,
-                    fold_steps: &[],
-                    kernel,
-                    cache_tag: j,
-                },
-                &mut c,
-            );
-            (partials, c)
-        },
-        |_, r| per_ct.push(r),
-    );
-    counts.encrypt += stats.input_items as u64;
-
-    // Sequential cross-ciphertext accumulation in input order, exactly
-    // as the phased driver does after its parallel phase.
-    let engine = engine_rx.recv().expect("producer sent the engine");
-    let mut out_cts: Vec<Option<Ciphertext>> = vec![None; geo.output_cts];
-    for (partials, c) in per_ct {
-        counts.merge(&c);
-        for (k, p) in partials.into_iter().enumerate() {
-            match &mut out_cts[k] {
-                None => out_cts[k] = Some(p),
-                Some(acc) => {
-                    engine.evaluator().add_inplace(acc, &p);
-                    counts.add += 1;
-                }
-            }
-        }
-    }
-
-    // Masks are drawn here, after the producer's reborrowed rng is
-    // released — the same position in the rng sequence as the phased
-    // driver's tail.
-    let decryptor = Decryptor::new(ctx, keygen.secret_key().clone());
-    let (client_share, server_share) = mask_and_extract(
+    let outcome = run_in_process(
         ctx,
-        &engine,
-        &decryptor,
-        &layout,
-        &groups,
-        out_cts,
-        kernel.out_channels(),
-        &shape,
-        &mut counts,
+        keygen,
+        input,
+        kernel,
+        stride,
+        (0, 0),
+        PatchMode::Vanilla,
+        SchemeKind::Channelwise,
+        &ExecBackend::Streaming(*config),
         rng,
-    );
-
-    let result = SecureConvResult {
-        client_share,
-        server_share,
-        counts,
-        input_cts: geo.input_cts,
-        output_cts: geo.output_cts,
-        modulus: t,
-    };
-    (result, stats)
+    )
+    .expect("in-process channelwise session");
+    let stats = outcome
+        .stream
+        .expect("streaming backend reports stall stats");
+    (outcome.result, stats)
 }
 
 /// Analytic operation counts for one input ciphertext (matches the

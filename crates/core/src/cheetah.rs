@@ -16,21 +16,24 @@
 //!   products summed across channel chunks), so the linear computation
 //!   stall remains.
 //!
-//! The functional path below really computes convolutions through the
+//! The functional path really computes convolutions through the
 //! coefficient encoding on our BFV ciphertexts and is tested against the
 //! plaintext reference; extraction is modelled by its traffic/compute
 //! cost (per DESIGN.md §3 the masked RLWE ciphertext stands in for the
 //! extracted LWE batch in the functional path).
+//!
+//! The drivers here are thin wrappers over the session layer
+//! ([`crate::session`]): client and server run as separate state
+//! machines over an in-process transport exchanging real wire frames.
 
 use crate::channelwise::SecureConvResult;
 use crate::executor::Executor;
-use crate::stream::{run_stream_barrier, StreamConfig, StreamStats};
+use crate::patching::PatchMode;
+use crate::session::{run_in_process, ExecBackend, SchemeKind};
+use crate::stream::{StreamConfig, StreamStats};
 use rand::Rng;
-use spot_he::ciphertext::Ciphertext;
 use spot_he::context::Context;
-use spot_he::encoding::Plaintext;
-use spot_he::encryptor::{Decryptor, Encryptor};
-use spot_he::evaluator::{Evaluator, OpCounts};
+use spot_he::evaluator::OpCounts;
 use spot_he::keys::KeyGenerator;
 use spot_he::params::ParamLevel;
 use spot_pipeline::plan::{ConvPlan, OutputDependency};
@@ -106,7 +109,7 @@ pub fn execute<R: Rng>(
 /// channel ring products fanned across `executor`'s worker pool.
 ///
 /// Masking randomness is drawn sequentially in output-channel order on
-/// the calling thread, so results are bit-identical for every thread
+/// the server side, so results are bit-identical for every thread
 /// count.
 ///
 /// # Panics
@@ -122,179 +125,32 @@ pub fn execute_with<R: Rng>(
     executor: &Executor,
     rng: &mut R,
 ) -> SecureConvResult {
-    let shape = ConvShape {
-        width: input.width(),
-        height: input.height(),
-        c_in: input.channels(),
-        c_out: kernel.out_channels(),
-        k_h: kernel.k_h(),
-        k_w: kernel.k_w(),
-        stride,
-    };
-    let level = ctx.params().level();
-    let geo = geometry(&shape, level);
-    assert!(
-        geo.channel_coeffs <= ctx.degree(),
-        "feature map does not fit the ring at {level}"
-    );
-    let n = ctx.degree();
-    let t = ctx.params().plain_modulus();
-    let hp = shape.height + shape.k_h - 1;
-    let wp = shape.width + shape.k_w - 1;
-    let s_ch = hp * wp;
-
-    let encryptor = Encryptor::new(ctx, keygen.public_key(rng));
-    let decryptor = Decryptor::new(ctx, keygen.secret_key().clone());
-    let evaluator = Evaluator::new(ctx);
-    let mut counts = OpCounts::default();
-
-    // --- client: coefficient-pack and encrypt chunks of channels ---
-    let all_channels: Vec<usize> = (0..input.channels()).collect();
-    let chunks: Vec<&[usize]> = all_channels.chunks(geo.channels_per_ct).collect();
-    let mut input_cts = Vec::with_capacity(chunks.len());
-    for chunk in &chunks {
-        let mut coeffs = vec![0u64; n];
-        for (local, &c) in chunk.iter().enumerate() {
-            for y in 0..shape.height {
-                for x in 0..shape.width {
-                    coeffs[local * s_ch + y * wp + x] =
-                        input.at(c, y, x).rem_euclid(t as i64) as u64;
-                }
-            }
-        }
-        input_cts.push(encryptor.encrypt(&Plaintext::from_coeffs(coeffs), rng));
-        counts.encrypt += 1;
-    }
-
-    // --- server: one ring product per (output channel, chunk), summed
-    // over chunks; chunks are padded identically so every product's
-    // useful coefficients sit at the same offset ---
-    let chunk_cap = geo.channels_per_ct;
-    let oh = shape.out_height();
-    let ow = shape.out_width();
-    let mut client_share = Tensor::zeros(shape.c_out, oh, ow);
-    let mut server_share = Tensor::zeros(shape.c_out, oh, ow);
-    // Parallel phase: the per-output-channel ring products consume no
-    // randomness, so they can run on any thread in any order.
-    let out_channels: Vec<usize> = (0..shape.c_out).collect();
-    let accumulated = executor.run(&out_channels, |_, &o| {
-        let mut c_local = OpCounts::default();
-        let mut acc: Option<spot_he::ciphertext::Ciphertext> = None;
-        for (ci_idx, chunk) in chunks.iter().enumerate() {
-            let mut wcoeffs = vec![0u64; n];
-            for (local, &c) in chunk.iter().enumerate() {
-                for u in 0..shape.k_h {
-                    for v in 0..shape.k_w {
-                        let w = kernel.at(o, c, u, v).rem_euclid(t as i64) as u64;
-                        let idx = (chunk_cap - 1 - local) * s_ch
-                            + (shape.k_h - 1 - u) * wp
-                            + (shape.k_w - 1 - v);
-                        wcoeffs[idx] = w;
-                    }
-                }
-            }
-            let prod =
-                evaluator.multiply_plain(&input_cts[ci_idx], &Plaintext::from_coeffs(wcoeffs));
-            c_local.mult_plain += 1;
-            match &mut acc {
-                None => acc = Some(prod),
-                Some(a) => {
-                    evaluator.add_inplace(a, &prod);
-                    c_local.add += 1;
-                }
-            }
-        }
-        (acc.expect("at least one chunk"), c_local)
-    });
-    // Sequential phase: masking randomness in fixed output-channel order.
-    mask_and_extract(
+    run_in_process(
         ctx,
-        &evaluator,
-        &decryptor,
-        accumulated,
-        &shape,
-        chunk_cap,
-        &mut counts,
-        &mut client_share,
-        &mut server_share,
+        keygen,
+        input,
+        kernel,
+        stride,
+        (0, 0),
+        PatchMode::Vanilla,
+        SchemeKind::Cheetah,
+        &ExecBackend::Phased(*executor),
         rng,
-    );
-
-    SecureConvResult {
-        client_share,
-        server_share,
-        counts,
-        input_cts: chunks.len(),
-        output_cts: shape.c_out,
-        modulus: t,
-    }
+    )
+    .expect("in-process cheetah session")
+    .result
 }
 
-/// Masks each accumulated output ciphertext, decrypts, and extracts the
-/// strided output coefficients — the sequential tail shared by the
-/// phased and streaming drivers. Mask randomness is drawn from `rng` in
-/// output-channel order.
-#[allow(clippy::too_many_arguments)]
-fn mask_and_extract<R: Rng>(
-    ctx: &Arc<Context>,
-    evaluator: &Evaluator,
-    decryptor: &Decryptor,
-    accumulated: Vec<(Ciphertext, OpCounts)>,
-    shape: &ConvShape,
-    chunk_cap: usize,
-    counts: &mut OpCounts,
-    client_share: &mut Tensor,
-    server_share: &mut Tensor,
-    rng: &mut R,
-) {
-    let n = ctx.degree();
-    let t = ctx.params().plain_modulus();
-    let wp = shape.width + shape.k_w - 1;
-    let s_ch = (shape.height + shape.k_h - 1) * wp;
-    let ph = (shape.k_h - 1) / 2;
-    let pw = (shape.k_w - 1) / 2;
-    let stride = shape.stride;
-    let oh = shape.out_height();
-    let ow = shape.out_width();
-    for (o, (out_ct, c_local)) in accumulated.into_iter().enumerate() {
-        counts.merge(&c_local);
-        // mask and return (stands in for LWE extraction)
-        let r: Vec<u64> = (0..n).map(|_| rng.gen_range(0..t)).collect();
-        let masked = evaluator.sub_plain(&out_ct, &Plaintext::from_coeffs(r.clone()));
-        counts.add += 1;
-        let decoded = decryptor.decrypt(&masked);
-        counts.decrypt += 1;
-        let dc = decoded.coeffs();
-        let base = (chunk_cap - 1) * s_ch;
-        for y in 0..oh {
-            for x in 0..ow {
-                let gy = y * stride;
-                let gx = x * stride;
-                let idx = base + (gy + ph) * wp + (gx + pw);
-                let cv = dc[idx];
-                *client_share.at_mut(o, y, x) = if cv > t / 2 {
-                    cv as i64 - t as i64
-                } else {
-                    cv as i64
-                };
-                *server_share.at_mut(o, y, x) = r[idx] as i64;
-            }
-        }
-    }
-}
-
-/// Executes the Cheetah-style secure convolution as a streamed upload
-/// through [`crate::stream::run_stream_barrier`]: chunk ciphertexts
-/// flow through the bounded channel, but every output channel's ring
-/// products sum over **all** chunks
+/// Executes the Cheetah-style secure convolution as a streamed upload:
+/// chunk ciphertexts flow through a bounded in-process transport, but
+/// every output channel's ring products sum over **all** chunks
 /// ([`OutputDependency::AllInputs`]), so the server's workers idle for
 /// the whole upload span — Cheetah keeps the linear computation stall
 /// despite its rotation-free convolution.
 ///
-/// Randomness is drawn in exactly the phased order (public key and
-/// chunk encryptions on the producer thread; masks on the caller's
-/// thread after the fan-out), so shares and op counts are bit-identical
-/// to [`execute_with`] for any worker count and channel capacity, given
+/// Client and server randomness are split from `rng` exactly as in the
+/// phased driver, so shares and op counts are bit-identical to
+/// [`execute_with`] for any worker count and channel capacity, given
 /// the same rng seed.
 ///
 /// # Panics
@@ -310,122 +166,23 @@ pub fn execute_streaming<R: Rng + Send>(
     config: &StreamConfig,
     rng: &mut R,
 ) -> (SecureConvResult, StreamStats) {
-    let shape = ConvShape {
-        width: input.width(),
-        height: input.height(),
-        c_in: input.channels(),
-        c_out: kernel.out_channels(),
-        k_h: kernel.k_h(),
-        k_w: kernel.k_w(),
-        stride,
-    };
-    let level = ctx.params().level();
-    let geo = geometry(&shape, level);
-    assert!(
-        geo.channel_coeffs <= ctx.degree(),
-        "feature map does not fit the ring at {level}"
-    );
-    let n = ctx.degree();
-    let t = ctx.params().plain_modulus();
-    let wp = shape.width + shape.k_w - 1;
-    let s_ch = geo.channel_coeffs;
-    let chunk_cap = geo.channels_per_ct;
-
-    let decryptor = Decryptor::new(ctx, keygen.secret_key().clone());
-    let evaluator = Evaluator::new(ctx);
-    let mut counts = OpCounts::default();
-
-    let all_channels: Vec<usize> = (0..input.channels()).collect();
-    let chunks: Vec<&[usize]> = all_channels.chunks(geo.channels_per_ct).collect();
-    let chunks_ref = &chunks;
-    let evaluator_ref = &evaluator;
-    let rng_ref = &mut *rng;
-
-    let mut accumulated: Vec<(Ciphertext, OpCounts)> = Vec::with_capacity(shape.c_out);
-    let stats = run_stream_barrier(
-        config,
-        shape.c_out,
-        // Producer: public key, then coefficient-pack and encrypt each
-        // channel chunk — all rng draws in phased order.
-        move |feeder| {
-            let encryptor = Encryptor::new(ctx, keygen.public_key(rng_ref));
-            for chunk in chunks_ref {
-                let mut coeffs = vec![0u64; n];
-                for (local, &c) in chunk.iter().enumerate() {
-                    for y in 0..shape.height {
-                        for x in 0..shape.width {
-                            coeffs[local * s_ch + y * wp + x] =
-                                input.at(c, y, x).rem_euclid(t as i64) as u64;
-                        }
-                    }
-                }
-                feeder.push(encryptor.encrypt(&Plaintext::from_coeffs(coeffs), rng_ref));
-            }
-        },
-        // Server job (after the barrier): output channel `o`'s ring
-        // product summed over every chunk ciphertext.
-        |o, inputs: &[Ciphertext]| {
-            let mut c_local = OpCounts::default();
-            let mut acc: Option<Ciphertext> = None;
-            for (ci_idx, chunk) in chunks_ref.iter().enumerate() {
-                let mut wcoeffs = vec![0u64; n];
-                for (local, &c) in chunk.iter().enumerate() {
-                    for u in 0..shape.k_h {
-                        for v in 0..shape.k_w {
-                            let w = kernel.at(o, c, u, v).rem_euclid(t as i64) as u64;
-                            let idx = (chunk_cap - 1 - local) * s_ch
-                                + (shape.k_h - 1 - u) * wp
-                                + (shape.k_w - 1 - v);
-                            wcoeffs[idx] = w;
-                        }
-                    }
-                }
-                let prod =
-                    evaluator_ref.multiply_plain(&inputs[ci_idx], &Plaintext::from_coeffs(wcoeffs));
-                c_local.mult_plain += 1;
-                match &mut acc {
-                    None => acc = Some(prod),
-                    Some(a) => {
-                        evaluator_ref.add_inplace(a, &prod);
-                        c_local.add += 1;
-                    }
-                }
-            }
-            (acc.expect("at least one chunk"), c_local)
-        },
-        |_, r| accumulated.push(r),
-    );
-    counts.encrypt += stats.input_items as u64;
-
-    // Masks are drawn here, after the producer's reborrowed rng is
-    // released — the same position in the rng sequence as the phased
-    // driver's tail.
-    let oh = shape.out_height();
-    let ow = shape.out_width();
-    let mut client_share = Tensor::zeros(shape.c_out, oh, ow);
-    let mut server_share = Tensor::zeros(shape.c_out, oh, ow);
-    mask_and_extract(
+    let outcome = run_in_process(
         ctx,
-        &evaluator,
-        &decryptor,
-        accumulated,
-        &shape,
-        chunk_cap,
-        &mut counts,
-        &mut client_share,
-        &mut server_share,
+        keygen,
+        input,
+        kernel,
+        stride,
+        (0, 0),
+        PatchMode::Vanilla,
+        SchemeKind::Cheetah,
+        &ExecBackend::Streaming(*config),
         rng,
-    );
-
-    let result = SecureConvResult {
-        client_share,
-        server_share,
-        counts,
-        input_cts: chunks.len(),
-        output_cts: shape.c_out,
-        modulus: t,
-    };
-    (result, stats)
+    )
+    .expect("in-process cheetah session");
+    let stats = outcome
+        .stream
+        .expect("streaming backend reports stall stats");
+    (outcome.result, stats)
 }
 
 /// The smallest level Cheetah can use for a shape (the feature map plus

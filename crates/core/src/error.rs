@@ -1,0 +1,56 @@
+//! Typed errors for the session layer and streaming runtime.
+
+use spot_he::serial::SerialError;
+use spot_proto::ProtoError;
+use std::fmt;
+
+/// Errors surfaced by the client/server sessions and the streaming
+/// runtime (thiserror-style, hand-rolled to stay dependency-free).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpotError {
+    /// A transport or wire-codec failure.
+    Proto(ProtoError),
+    /// An HE object failed validated deserialization.
+    Serial(SerialError),
+    /// The peer violated the session protocol (wrong message, bad
+    /// sequence number, inconsistent geometry, …).
+    Protocol(String),
+    /// A lock was poisoned by a panic on another thread.
+    Poisoned(&'static str),
+    /// A queue or channel was disconnected while traffic was expected.
+    Disconnected(&'static str),
+}
+
+impl fmt::Display for SpotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpotError::Proto(e) => write!(f, "protocol transport error: {e}"),
+            SpotError::Serial(e) => write!(f, "HE deserialization error: {e}"),
+            SpotError::Protocol(m) => write!(f, "session protocol violation: {m}"),
+            SpotError::Poisoned(what) => write!(f, "poisoned lock: {what}"),
+            SpotError::Disconnected(what) => write!(f, "disconnected: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SpotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpotError::Proto(e) => Some(e),
+            SpotError::Serial(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ProtoError> for SpotError {
+    fn from(e: ProtoError) -> Self {
+        SpotError::Proto(e)
+    }
+}
+
+impl From<SerialError> for SpotError {
+    fn from(e: SerialError) -> Self {
+        SpotError::Serial(e)
+    }
+}

@@ -82,7 +82,7 @@ pub struct HeConvEngine {
     ctx: Arc<Context>,
     encoder: BatchEncoder,
     evaluator: Evaluator,
-    galois: GaloisKeys,
+    galois: Arc<GaloisKeys>,
     /// Whether the baby-step/giant-step alignment optimization is used
     /// (SPOT yes; the CrypTFlow2 baseline follows its published
     /// output-rotation algorithm without it).
@@ -130,6 +130,58 @@ pub fn bsgs_split(diagonals: usize, groups: usize, versions: usize, kk: usize) -
     (best.0, diagonals / best.0)
 }
 
+/// The sorted, deduplicated Galois elements a convolution over the
+/// given layout needs: one per non-zero kernel-tap row rotation, the
+/// baby and giant block-alignment steps (under the same BSGS split
+/// [`HeConvEngine::conv_one_ct`] will choose), the fold steps, and
+/// optionally the column swap. Letting both parties compute this from
+/// the layer geometry is what allows the client to generate exactly the
+/// keys the server will use.
+#[allow(clippy::too_many_arguments)]
+pub fn required_elements(
+    layout: &LaneLayout,
+    k_h: usize,
+    k_w: usize,
+    diagonals: usize,
+    groups: usize,
+    fold_steps: &[usize],
+    column_swap: bool,
+    use_bsgs: bool,
+) -> Vec<usize> {
+    let n = 2 * layout.lane_size;
+    let versions = if column_swap { 2 } else { 1 };
+    let (baby, giants) = if use_bsgs {
+        bsgs_split(diagonals, groups.max(1), versions, k_h * k_w)
+    } else {
+        (1, diagonals)
+    };
+    let mut elements = Vec::new();
+    for (dy, dx, _, _) in kernel_taps(k_h, k_w) {
+        let step = dy * layout.piece_w as i64 + dx;
+        if step != 0 {
+            elements.push(galois_elt_from_step(step, n));
+        }
+    }
+    for b in 1..baby {
+        elements.push(galois_elt_from_step(layout.block_rotation_step(b), n));
+    }
+    for j in 1..giants {
+        elements.push(galois_elt_from_step(
+            layout.block_rotation_step(j * baby),
+            n,
+        ));
+    }
+    for &f in fold_steps {
+        elements.push(galois_elt_from_step(layout.block_rotation_step(f), n));
+    }
+    if column_swap {
+        elements.push(galois_elt_column_swap(n));
+    }
+    elements.sort_unstable();
+    elements.dedup();
+    elements
+}
+
 impl HeConvEngine {
     /// Builds an engine with Galois keys covering the rotations needed
     /// for the given layout, kernel window, diagonal count, fold steps,
@@ -148,38 +200,25 @@ impl HeConvEngine {
         use_bsgs: bool,
         rng: &mut R,
     ) -> Self {
-        let n = ctx.degree();
-        let versions = if column_swap { 2 } else { 1 };
-        let (baby, giants) = if use_bsgs {
-            bsgs_split(diagonals, groups.max(1), versions, k_h * k_w)
-        } else {
-            (1, diagonals)
-        };
-        let mut elements = Vec::new();
-        for (dy, dx, _, _) in kernel_taps(k_h, k_w) {
-            let step = dy * layout.piece_w as i64 + dx;
-            if step != 0 {
-                elements.push(galois_elt_from_step(step, n));
-            }
-        }
-        for b in 1..baby {
-            elements.push(galois_elt_from_step(layout.block_rotation_step(b), n));
-        }
-        for j in 1..giants {
-            elements.push(galois_elt_from_step(
-                layout.block_rotation_step(j * baby),
-                n,
-            ));
-        }
-        for &f in fold_steps {
-            elements.push(galois_elt_from_step(layout.block_rotation_step(f), n));
-        }
-        if column_swap {
-            elements.push(galois_elt_column_swap(n));
-        }
-        elements.sort_unstable();
-        elements.dedup();
-        let galois = keygen.galois_keys(&elements, rng);
+        let elements = required_elements(
+            layout,
+            k_h,
+            k_w,
+            diagonals,
+            groups,
+            fold_steps,
+            column_swap,
+            use_bsgs,
+        );
+        let galois = Arc::new(keygen.galois_keys(&elements, rng));
+        Self::with_keys(ctx, galois, use_bsgs)
+    }
+
+    /// Builds an engine around externally supplied Galois keys — the
+    /// server session path, where the keys arrive over the wire and must
+    /// cover at least the elements [`required_elements`] reports for the
+    /// layer the engine will run.
+    pub fn with_keys(ctx: &Arc<Context>, galois: Arc<GaloisKeys>, use_bsgs: bool) -> Self {
         Self {
             ctx: Arc::clone(ctx),
             encoder: BatchEncoder::new(ctx),

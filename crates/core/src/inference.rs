@@ -5,8 +5,11 @@
 
 use crate::executor::Executor;
 use crate::patching::PatchMode;
-use crate::stream::{StreamConfig, StreamStats};
+use crate::session::{run_in_process, SchemeKind};
+use crate::stream::StreamStats;
 use crate::{channelwise, cheetah, select, spot};
+
+pub use crate::session::ExecBackend;
 use rand::Rng;
 use spot_he::context::Context;
 use spot_he::keys::KeyGenerator;
@@ -43,20 +46,19 @@ impl Scheme {
             Scheme::Spot => "SPOT",
         }
     }
+
+    /// The session-layer scheme kind this scheme runs as.
+    pub fn kind(self) -> SchemeKind {
+        match self {
+            Scheme::CrypTFlow2 => SchemeKind::Channelwise,
+            Scheme::Cheetah => SchemeKind::Cheetah,
+            Scheme::Spot => SchemeKind::Spot,
+        }
+    }
 }
 
-/// How a secure convolution's server work is driven.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ExecBackend {
-    /// Two sequential phases: encrypt every ciphertext, then fan the
-    /// convolutions across the executor pool.
-    Phased(Executor),
-    /// Real pipelining via [`crate::stream`]: client encryption streams
-    /// through a bounded channel overlapped with server convolution.
-    Streaming(StreamConfig),
-}
-
-/// Runs one secure convolution under `scheme` with the chosen backend.
+/// Runs one secure convolution under `scheme` with the chosen backend
+/// (a thin wrapper over [`crate::session::run_in_process`]).
 ///
 /// Returns the measured [`StreamStats`] when the streaming backend ran
 /// (`None` for the phased backend). Both backends draw randomness in
@@ -76,36 +78,20 @@ pub fn run_conv_backend<R: Rng + Send>(
     backend: &ExecBackend,
     rng: &mut R,
 ) -> (channelwise::SecureConvResult, Option<StreamStats>) {
-    match backend {
-        ExecBackend::Phased(ex) => {
-            let res = match scheme {
-                Scheme::CrypTFlow2 => {
-                    channelwise::execute_with(ctx, keygen, input, kernel, stride, ex, rng)
-                }
-                Scheme::Cheetah => {
-                    cheetah::execute_with(ctx, keygen, input, kernel, stride, ex, rng)
-                }
-                Scheme::Spot => {
-                    spot::execute_with(ctx, keygen, input, kernel, stride, patch, mode, ex, rng)
-                }
-            };
-            (res, None)
-        }
-        ExecBackend::Streaming(cfg) => {
-            let (res, stats) = match scheme {
-                Scheme::CrypTFlow2 => {
-                    channelwise::execute_streaming(ctx, keygen, input, kernel, stride, cfg, rng)
-                }
-                Scheme::Cheetah => {
-                    cheetah::execute_streaming(ctx, keygen, input, kernel, stride, cfg, rng)
-                }
-                Scheme::Spot => spot::execute_streaming(
-                    ctx, keygen, input, kernel, stride, patch, mode, cfg, rng,
-                ),
-            };
-            (res, Some(stats))
-        }
-    }
+    let outcome = run_in_process(
+        ctx,
+        keygen,
+        input,
+        kernel,
+        stride,
+        patch,
+        mode,
+        scheme.kind(),
+        backend,
+        rng,
+    )
+    .expect("in-process secure convolution session");
+    (outcome.result, outcome.stream)
 }
 
 /// Builds the execution plan for one convolution layer under a scheme,
@@ -318,8 +304,12 @@ impl TinyCnn {
         let t = ctx.params().plain_modulus();
         let mut channel = Channel::new();
         let mut stream_stats = StreamStats::default();
-        let run = |input: &Tensor, kernel: &Kernel, stats: &mut StreamStats, rng: &mut R| {
-            let (res, layer_stats) = run_conv_backend(
+        let run = |input: &Tensor,
+                   kernel: &Kernel,
+                   chan: &mut Channel,
+                   stats: &mut StreamStats,
+                   rng: &mut R| {
+            let outcome = run_in_process(
                 ctx,
                 keygen,
                 input,
@@ -327,18 +317,22 @@ impl TinyCnn {
                 1,
                 (4, 4),
                 PatchMode::Tweaked,
-                scheme,
+                scheme.kind(),
                 backend,
                 rng,
-            );
-            if let Some(s) = layer_stats {
+            )
+            .expect("in-process secure convolution session");
+            // Charge the convolution's real framed wire traffic to the
+            // protocol channel alongside the OT rounds.
+            chan.charge_traffic(&outcome.uplink, &outcome.downlink);
+            if let Some(s) = outcome.stream {
                 stats.accumulate(&s);
             }
-            res
+            outcome.result
         };
 
         // conv1 under HE
-        let r1 = run(input, &self.conv1, &mut stream_stats, rng);
+        let r1 = run(input, &self.conv1, &mut channel, &mut stream_stats, rng);
         // ReLU on shares
         let (c, s) = to_shares(&r1, t);
         let (c, s) = relu_on_shares(&c, &s, &mut channel, rng);
@@ -363,7 +357,7 @@ impl TinyCnn {
         // conv2 under HE (on the reconstructed-for-simulation tensor; in
         // the real protocol the client re-encrypts its share and the
         // server adds its own — the arithmetic is identical)
-        let r2 = run(&mid, &self.conv2, &mut stream_stats, rng);
+        let r2 = run(&mid, &self.conv2, &mut channel, &mut stream_stats, rng);
         let (c, s) = to_shares(&r2, t);
         let (c, s) = relu_on_shares(&c, &s, &mut channel, rng);
         let out = from_shares(
@@ -406,6 +400,7 @@ fn from_shares(c: &ShareVec, s: &ShareVec, channels: usize, h: usize, w: usize, 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::stream::StreamConfig;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use spot_he::params::EncryptionParams;

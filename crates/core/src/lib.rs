@@ -20,6 +20,7 @@ pub mod batch;
 pub mod channelwise;
 pub mod cheetah;
 pub mod complexity;
+pub mod error;
 pub mod executor;
 pub mod heconv;
 pub mod inference;
@@ -27,5 +28,7 @@ pub mod layout;
 pub mod memory_util;
 pub mod patching;
 pub mod select;
+pub mod session;
 pub mod spot;
 pub mod stream;
+pub mod twoparty;

@@ -1,0 +1,1507 @@
+//! Client/server session state machines over the typed wire protocol.
+//!
+//! This module splits every secure-convolution scheme into two halves
+//! that talk *only* through a [`Transport`]:
+//!
+//! * [`ClientConv`] — the tiny client: packs and encrypts the input,
+//!   streams ciphertexts up, then decrypts the masked results into its
+//!   additive share ([`ClientConv::send_all`] /
+//!   [`ClientConv::absorb_all`]).
+//! * [`serve_conv`] — the server: reads the [`ConvSetup`] hello,
+//!   validates the client's rotation keys, convolves under HE (phased
+//!   or streamed per [`ExecBackend`]), and returns masked results while
+//!   keeping its own additive share.
+//!
+//! The same session code runs over [`MemTransport`] (in-process, used
+//! by every scheme's `execute*` entry point through
+//! [`run_in_process`]) and `TcpTransport` (two real OS processes) —
+//! messages, byte counts, and shares are identical by construction.
+//!
+//! # Determinism contract
+//!
+//! Each party draws randomness from its own seeded rng in a fixed
+//! order: the client draws its public key, then rotation keys, then
+//! every encryption in upload order; the server draws only result
+//! masks, in result order (the streaming consumer runs on one thread
+//! in index order). Parallel phases are pure. Shares are therefore
+//! bit-identical across backends, thread counts, channel capacities,
+//! and transports.
+
+use crate::channelwise::{self, SecureConvResult};
+use crate::cheetah;
+use crate::error::SpotError;
+use crate::executor::Executor;
+use crate::heconv::{required_elements, ChannelMap, ConvRequest, GroupSpec, HeConvEngine};
+use crate::layout::{pack_pieces, pack_pieces_split, LaneLayout};
+use crate::patching::{decompose, Decomposition, PatchMode};
+use crate::spot::{self, Blocking};
+use crate::stream::{run_stream, run_stream_barrier, StreamConfig, StreamStats};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spot_he::ciphertext::Ciphertext;
+use spot_he::context::Context;
+use spot_he::encoding::{BatchEncoder, Plaintext};
+use spot_he::encryptor::{Decryptor, Encryptor};
+use spot_he::evaluator::{Evaluator, OpCounts};
+use spot_he::keys::{GaloisKeys, KeyGenerator};
+use spot_he::params::ParamLevel;
+use spot_he::serial::{galois_keys_from_bytes, galois_keys_to_bytes};
+use spot_proto::channel::TrafficStats;
+use spot_proto::{ConvSetup, MemTransport, Transport, WireMessage};
+use spot_tensor::models::ConvShape;
+use spot_tensor::tensor::{Kernel, Tensor};
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Typed layer specification ↔ wire setup
+// ---------------------------------------------------------------------
+
+/// The secure-convolution scheme a session runs (wire discriminants
+/// match [`ConvSetup::scheme`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// CrypTFlow2/GAZELLE-style channel-wise packing.
+    Channelwise,
+    /// Cheetah-style coefficient encoding.
+    Cheetah,
+    /// SPOT structure patching.
+    Spot,
+}
+
+impl SchemeKind {
+    /// Wire discriminant.
+    pub fn code(self) -> u8 {
+        match self {
+            SchemeKind::Channelwise => 0,
+            SchemeKind::Cheetah => 1,
+            SchemeKind::Spot => 2,
+        }
+    }
+
+    /// Parses a wire discriminant.
+    pub fn from_code(code: u8) -> Result<Self, SpotError> {
+        match code {
+            0 => Ok(SchemeKind::Channelwise),
+            1 => Ok(SchemeKind::Cheetah),
+            2 => Ok(SchemeKind::Spot),
+            other => Err(SpotError::Protocol(format!("unknown scheme code {other}"))),
+        }
+    }
+}
+
+fn mode_code(mode: PatchMode) -> u8 {
+    match mode {
+        PatchMode::Vanilla => 0,
+        PatchMode::Tweaked => 1,
+    }
+}
+
+fn mode_from_code(code: u8) -> Result<PatchMode, SpotError> {
+    match code {
+        0 => Ok(PatchMode::Vanilla),
+        1 => Ok(PatchMode::Tweaked),
+        other => Err(SpotError::Protocol(format!(
+            "unknown patch mode code {other}"
+        ))),
+    }
+}
+
+fn level_code(level: ParamLevel) -> u8 {
+    (level.degree().trailing_zeros() as u8) - 11
+}
+
+fn level_from_code(code: u8) -> Result<ParamLevel, SpotError> {
+    if code > 8 {
+        return Err(SpotError::Protocol(format!(
+            "unknown parameter level code {code}"
+        )));
+    }
+    ParamLevel::ALL
+        .into_iter()
+        .find(|l| l.degree() == 1usize << (11 + code as usize))
+        .ok_or_else(|| SpotError::Protocol(format!("unknown parameter level code {code}")))
+}
+
+/// One convolution layer as the session layer sees it: scheme, shape,
+/// and (for SPOT) the patch configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerSpec {
+    /// Scheme to run.
+    pub scheme: SchemeKind,
+    /// Layer shape (input dims, channels, kernel, stride).
+    pub shape: ConvShape,
+    /// SPOT main patch size `(ph, pw)`; ignored by the baselines.
+    pub patch: (usize, usize),
+    /// SPOT decomposition mode; ignored by the baselines.
+    pub mode: PatchMode,
+}
+
+/// Largest accepted dimension in a [`ConvSetup`] (defensive bound so a
+/// hostile hello cannot trigger huge allocations).
+const MAX_DIM: u32 = 1 << 14;
+
+impl LayerSpec {
+    /// Encodes the spec as the wire hello for `level`.
+    pub fn to_setup(&self, level: ParamLevel) -> ConvSetup {
+        let spot = self.scheme == SchemeKind::Spot;
+        ConvSetup {
+            scheme: self.scheme.code(),
+            mode: if spot { mode_code(self.mode) } else { 0 },
+            level: level_code(level),
+            h: self.shape.height as u32,
+            w: self.shape.width as u32,
+            c_in: self.shape.c_in as u32,
+            c_out: self.shape.c_out as u32,
+            k_h: self.shape.k_h as u32,
+            k_w: self.shape.k_w as u32,
+            stride: self.shape.stride as u32,
+            patch_h: if spot { self.patch.0 as u32 } else { 0 },
+            patch_w: if spot { self.patch.1 as u32 } else { 0 },
+        }
+    }
+
+    /// Decodes and validates a wire hello.
+    pub fn from_setup(setup: &ConvSetup) -> Result<(Self, ParamLevel), SpotError> {
+        let scheme = SchemeKind::from_code(setup.scheme)?;
+        let level = level_from_code(setup.level)?;
+        for (name, v) in [
+            ("h", setup.h),
+            ("w", setup.w),
+            ("c_in", setup.c_in),
+            ("c_out", setup.c_out),
+            ("k_h", setup.k_h),
+            ("k_w", setup.k_w),
+            ("stride", setup.stride),
+        ] {
+            if v == 0 || v > MAX_DIM {
+                return Err(SpotError::Protocol(format!(
+                    "setup field {name} = {v} out of range 1..={MAX_DIM}"
+                )));
+            }
+        }
+        let (patch, mode) = if scheme == SchemeKind::Spot {
+            for (name, v) in [("patch_h", setup.patch_h), ("patch_w", setup.patch_w)] {
+                if v == 0 || v > MAX_DIM {
+                    return Err(SpotError::Protocol(format!(
+                        "setup field {name} = {v} out of range 1..={MAX_DIM}"
+                    )));
+                }
+            }
+            (
+                (setup.patch_h as usize, setup.patch_w as usize),
+                mode_from_code(setup.mode)?,
+            )
+        } else {
+            ((0, 0), PatchMode::Vanilla)
+        };
+        let shape = ConvShape {
+            width: setup.w as usize,
+            height: setup.h as usize,
+            c_in: setup.c_in as usize,
+            c_out: setup.c_out as usize,
+            k_h: setup.k_h as usize,
+            k_w: setup.k_w as usize,
+            stride: setup.stride as usize,
+        };
+        Ok((
+            LayerSpec {
+                scheme,
+                shape,
+                patch,
+                mode,
+            },
+            level,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared layer plan (both parties derive the same structure)
+// ---------------------------------------------------------------------
+
+/// Scheme-specific packing structure derived identically by both
+/// parties from the [`LayerSpec`] alone (SPOT's piece structure depends
+/// only on spatial dims, so a one-channel probe decomposition serves).
+enum PlanDetail {
+    Channelwise {
+        geo: channelwise::ChannelwiseGeometry,
+        layout: LaneLayout,
+        groups: Vec<GroupSpec>,
+    },
+    Cheetah {
+        geo: cheetah::CheetahGeometry,
+    },
+    Spot {
+        blk: Blocking,
+        probe: Decomposition,
+        layouts: Vec<LaneLayout>,
+        /// Ciphertexts per class, classes in decomposition order.
+        class_cts: Vec<usize>,
+        groups: Vec<GroupSpec>,
+        in_maps: Vec<ChannelMap>,
+        input_cts: usize,
+    },
+}
+
+fn plan_layer(spec: &LayerSpec, level: ParamLevel) -> Result<PlanDetail, SpotError> {
+    let shape = &spec.shape;
+    let lane = level.degree() / 2;
+    match spec.scheme {
+        SchemeKind::Channelwise => {
+            if crate::layout::next_pow2(shape.width * shape.height) > lane {
+                return Err(SpotError::Protocol(format!(
+                    "channel of {}x{} does not fit a lane of {lane} slots",
+                    shape.height, shape.width
+                )));
+            }
+            let geo = channelwise::geometry(shape, level);
+            let layout = LaneLayout::new(lane, geo.blocks_per_lane, shape.height, shape.width);
+            let groups = (0..geo.output_cts)
+                .map(|k| channelwise::group_spec(&geo, k, shape.c_out))
+                .collect();
+            Ok(PlanDetail::Channelwise {
+                geo,
+                layout,
+                groups,
+            })
+        }
+        SchemeKind::Cheetah => {
+            let geo = cheetah::geometry(shape, level);
+            if geo.channel_coeffs > level.degree() {
+                return Err(SpotError::Protocol(format!(
+                    "feature map does not fit the ring at {level}"
+                )));
+            }
+            Ok(PlanDetail::Cheetah { geo })
+        }
+        SchemeKind::Spot => {
+            let blk = spot::blocking(shape.c_in, shape.c_out);
+            // Piece structure depends only on spatial dims: probe with a
+            // single zero channel (both parties derive it identically).
+            let probe = decompose(
+                &Tensor::zeros(1, shape.height, shape.width),
+                spec.patch.0,
+                spec.patch.1,
+                shape.k_h,
+                spec.mode,
+            );
+            let mut layouts = Vec::with_capacity(probe.classes.len());
+            let mut class_cts = Vec::with_capacity(probe.classes.len());
+            let mut input_cts = 0usize;
+            for (class, pieces) in &probe.classes {
+                if blk.ci_pad * crate::layout::next_pow2(class.h * class.w) > lane {
+                    return Err(SpotError::Protocol(format!(
+                        "piece of {}x{} with {} padded channels does not fit a lane of {lane} slots",
+                        class.h, class.w, blk.ci_pad
+                    )));
+                }
+                let layout = LaneLayout::new(lane, blk.lane_blocks, class.h, class.w);
+                let per_ct = if blk.split {
+                    layout.groups
+                } else {
+                    2 * layout.groups
+                };
+                let cts = pieces.len().div_ceil(per_ct);
+                class_cts.push(cts);
+                input_cts += cts;
+                layouts.push(layout);
+            }
+            let groups = spot::spot_group_specs(&blk, shape.c_out);
+            let in_maps = spot::spot_in_maps(&blk, shape.c_in);
+            Ok(PlanDetail::Spot {
+                blk,
+                probe,
+                layouts,
+                class_cts,
+                groups,
+                in_maps,
+                input_cts,
+            })
+        }
+    }
+}
+
+/// Galois elements the server will need for this layer (empty for
+/// Cheetah's rotation-free products).
+fn galois_elements(spec: &LayerSpec, detail: &PlanDetail) -> Vec<usize> {
+    let shape = &spec.shape;
+    match detail {
+        PlanDetail::Channelwise { geo, layout, .. } => required_elements(
+            layout,
+            shape.k_h,
+            shape.k_w,
+            geo.blocks_per_lane,
+            geo.output_cts,
+            &[],
+            geo.both_lanes,
+            false,
+        ),
+        PlanDetail::Cheetah { .. } => Vec::new(),
+        PlanDetail::Spot { blk, layouts, .. } => {
+            let mut union = Vec::new();
+            for layout in layouts {
+                union.extend(required_elements(
+                    layout,
+                    shape.k_h,
+                    shape.k_w,
+                    blk.diagonals,
+                    blk.out_groups,
+                    &blk.fold_steps,
+                    blk.split,
+                    true,
+                ));
+            }
+            union.sort_unstable();
+            union.dedup();
+            union
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution backend
+// ---------------------------------------------------------------------
+
+/// How a secure convolution's server work is driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// Two sequential phases: receive every ciphertext, then fan the
+    /// convolutions across the executor pool.
+    Phased(Executor),
+    /// Real pipelining via [`crate::stream`]: uploads stream through a
+    /// bounded channel overlapped with server convolution.
+    Streaming(StreamConfig),
+}
+
+// ---------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------
+
+fn msg_name(msg: &WireMessage) -> &'static str {
+    match msg {
+        WireMessage::Setup(_) => "Setup",
+        WireMessage::PublicKey(_) => "PublicKey",
+        WireMessage::GaloisKeys(_) => "GaloisKeys",
+        WireMessage::PackedCt { .. } => "PackedCt",
+        WireMessage::AuxCt { .. } => "AuxCt",
+        WireMessage::MaskedResult { .. } => "MaskedResult",
+        WireMessage::OtRound { .. } => "OtRound",
+        WireMessage::ShareReveal { .. } => "ShareReveal",
+        WireMessage::LayerBarrier { .. } => "LayerBarrier",
+        WireMessage::Teardown => "Teardown",
+    }
+}
+
+fn unexpected(got: &WireMessage, want: &str) -> SpotError {
+    SpotError::Protocol(format!("expected {want}, got {}", msg_name(got)))
+}
+
+fn centered(v: u64, t: u64) -> i64 {
+    if v > t / 2 {
+        v as i64 - t as i64
+    } else {
+        v as i64
+    }
+}
+
+/// Receives the serialized input ciphertext with global index `j`
+/// (class 0 rides in `PackedCt`, SPOT seam classes in `AuxCt`),
+/// validating class and sequence number but deferring deserialization
+/// to the caller — SPOT's streaming worker decodes on the pool so the
+/// ingest thread goes straight back to the socket.
+fn recv_input_blob(
+    transport: &dyn Transport,
+    j: usize,
+    want_class: usize,
+) -> Result<Vec<u8>, SpotError> {
+    let msg = transport.recv()?;
+    let (class, seq, blob) = match msg {
+        WireMessage::PackedCt { seq, blob } => (0usize, seq, blob),
+        WireMessage::AuxCt { class, seq, blob } => (class as usize, seq, blob),
+        other => return Err(unexpected(&other, "PackedCt/AuxCt")),
+    };
+    if class != want_class || seq as usize != j {
+        return Err(SpotError::Protocol(format!(
+            "input ciphertext out of order: got class {class} seq {seq}, want class {want_class} seq {j}"
+        )));
+    }
+    Ok(blob)
+}
+
+/// [`recv_input_blob`] plus immediate deserialization, for the phased
+/// and all-input (barrier) paths where decode time is part of the
+/// upload span anyway.
+fn recv_input_ct(
+    transport: &dyn Transport,
+    ctx: &Arc<Context>,
+    j: usize,
+    want_class: usize,
+) -> Result<Ciphertext, SpotError> {
+    let blob = recv_input_blob(transport, j, want_class)?;
+    Ok(Ciphertext::try_from_bytes(ctx, &blob)?)
+}
+
+fn draw_mask<R: Rng>(rng: &mut R, degree: usize, t: u64) -> Vec<u64> {
+    (0..degree).map(|_| rng.gen_range(0..t)).collect()
+}
+
+// ---------------------------------------------------------------------
+// Client session
+// ---------------------------------------------------------------------
+
+/// How the client paces its input upload relative to the server's
+/// setup acknowledgement (the `LayerBarrier` the server sends once the
+/// rotation keys are validated).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UploadPacing {
+    /// Push everything immediately. Correct for the phased in-process
+    /// driver, where the server only starts consuming after the whole
+    /// upload is queued (waiting for an ack would deadlock).
+    Eager,
+    /// Hold input ciphertexts until the server acknowledges the setup
+    /// and keys. This keeps the upload inside the server's measured
+    /// stall window — a tiny client cannot usefully transmit before
+    /// the server is ready to consume, and pre-buffering would let the
+    /// transport hide the upload span the stall accounting reports.
+    AwaitAck,
+}
+
+/// Summary of a completed client upload phase.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientSendSummary {
+    /// Encryptions performed.
+    pub encrypt: u64,
+    /// Input ciphertexts sent.
+    pub input_cts: usize,
+}
+
+/// The client's completed download phase: its additive output share.
+#[derive(Debug, Clone)]
+pub struct ClientShare {
+    /// The client's additive share of the (strided) output tensor.
+    pub share: Tensor,
+    /// Decryptions performed.
+    pub decrypt: u64,
+    /// Masked result ciphertexts absorbed.
+    pub output_cts: usize,
+}
+
+/// Client half of one secure-convolution layer.
+///
+/// Construct once per layer, then drive the two phases:
+/// [`ClientConv::send_all`] (hello, keys, encrypted upload) and
+/// [`ClientConv::absorb_all`] (masked results → additive share). The
+/// halves are independent, so over a socket transport they can run on
+/// two threads to overlap upload with download.
+pub struct ClientConv<'a> {
+    ctx: Arc<Context>,
+    keygen: &'a KeyGenerator,
+    spec: LayerSpec,
+    detail: PlanDetail,
+    elements: Vec<usize>,
+}
+
+impl<'a> ClientConv<'a> {
+    /// Plans the layer client-side.
+    pub fn new(
+        ctx: &Arc<Context>,
+        keygen: &'a KeyGenerator,
+        spec: LayerSpec,
+    ) -> Result<Self, SpotError> {
+        let detail = plan_layer(&spec, ctx.params().level())?;
+        let elements = galois_elements(&spec, &detail);
+        Ok(Self {
+            ctx: Arc::clone(ctx),
+            keygen,
+            spec,
+            detail,
+            elements,
+        })
+    }
+
+    /// Number of input ciphertexts the upload phase will send.
+    pub fn input_cts(&self) -> usize {
+        match &self.detail {
+            PlanDetail::Channelwise { geo, .. } => geo.input_cts,
+            PlanDetail::Cheetah { geo } => geo.input_cts,
+            PlanDetail::Spot { input_cts, .. } => *input_cts,
+        }
+    }
+
+    /// Number of masked result ciphertexts the download phase expects.
+    pub fn output_cts(&self) -> usize {
+        match &self.detail {
+            PlanDetail::Channelwise { geo, .. } => geo.output_cts,
+            PlanDetail::Cheetah { .. } => self.spec.shape.c_out,
+            PlanDetail::Spot { blk, input_cts, .. } => input_cts * blk.out_groups,
+        }
+    }
+
+    /// Upload phase: sends the layer hello, public-key-independent
+    /// rotation keys, and every packed input ciphertext. Draws the
+    /// public key first, then rotation keys, then encryptions in upload
+    /// order — the canonical client rng sequence. With
+    /// [`UploadPacing::AwaitAck`] the input ciphertexts are held until
+    /// the server's setup acknowledgement arrives on the downlink.
+    pub fn send_all<R: Rng>(
+        &self,
+        transport: &dyn Transport,
+        input: &Tensor,
+        pacing: UploadPacing,
+        rng: &mut R,
+    ) -> Result<ClientSendSummary, SpotError> {
+        let shape = &self.spec.shape;
+        if input.channels() != shape.c_in
+            || input.height() != shape.height
+            || input.width() != shape.width
+        {
+            return Err(SpotError::Protocol(format!(
+                "input tensor {}x{}x{} does not match layer spec {}x{}x{}",
+                input.channels(),
+                input.height(),
+                input.width(),
+                shape.c_in,
+                shape.height,
+                shape.width
+            )));
+        }
+        transport.send(&WireMessage::Setup(
+            self.spec.to_setup(self.ctx.params().level()),
+        ))?;
+        let encryptor = Encryptor::new(&self.ctx, self.keygen.public_key(rng));
+        if !self.elements.is_empty() {
+            let gk = self.keygen.galois_keys(&self.elements, rng);
+            transport.send(&WireMessage::GaloisKeys(galois_keys_to_bytes(&gk)))?;
+        }
+        if pacing == UploadPacing::AwaitAck {
+            let msg = transport.recv()?;
+            let WireMessage::LayerBarrier { .. } = msg else {
+                return Err(unexpected(&msg, "LayerBarrier"));
+            };
+        }
+        let t = self.ctx.params().plain_modulus();
+        let n = self.ctx.degree();
+        let mut encrypt = 0u64;
+        let mut seq = 0u32;
+        match &self.detail {
+            PlanDetail::Channelwise { geo, layout, .. } => {
+                let encoder = BatchEncoder::new(&self.ctx);
+                let lane = n / 2;
+                for j in 0..geo.input_cts {
+                    let mut slots = vec![0u64; n];
+                    let map = channelwise::channel_map(geo, j, shape.c_in);
+                    for (lane_idx, row) in map.iter().enumerate() {
+                        for (b, ch) in row.iter().enumerate() {
+                            let Some(c) = *ch else { continue };
+                            for y in 0..shape.height {
+                                for x in 0..shape.width {
+                                    slots[lane_idx * lane + layout.slot(b, 0, y, x)] =
+                                        input.at(c, y, x).rem_euclid(t as i64) as u64;
+                                }
+                            }
+                        }
+                    }
+                    let ct = encryptor.encrypt(&encoder.encode(&slots), rng);
+                    encrypt += 1;
+                    transport.send(&WireMessage::PackedCt {
+                        seq,
+                        blob: ct.to_bytes(),
+                    })?;
+                    seq += 1;
+                }
+            }
+            PlanDetail::Cheetah { geo } => {
+                let hp = shape.height + shape.k_h - 1;
+                let wp = shape.width + shape.k_w - 1;
+                let s_ch = hp * wp;
+                let all_channels: Vec<usize> = (0..shape.c_in).collect();
+                for chunk in all_channels.chunks(geo.channels_per_ct) {
+                    let mut coeffs = vec![0u64; n];
+                    for (local, &c) in chunk.iter().enumerate() {
+                        for y in 0..shape.height {
+                            for x in 0..shape.width {
+                                coeffs[local * s_ch + y * wp + x] =
+                                    input.at(c, y, x).rem_euclid(t as i64) as u64;
+                            }
+                        }
+                    }
+                    let ct = encryptor.encrypt(&Plaintext::from_coeffs(coeffs), rng);
+                    encrypt += 1;
+                    transport.send(&WireMessage::PackedCt {
+                        seq,
+                        blob: ct.to_bytes(),
+                    })?;
+                    seq += 1;
+                }
+            }
+            PlanDetail::Spot { blk, layouts, .. } => {
+                let encoder = BatchEncoder::new(&self.ctx);
+                let decomp = decompose(
+                    input,
+                    self.spec.patch.0,
+                    self.spec.patch.1,
+                    shape.k_h,
+                    self.spec.mode,
+                );
+                for (ci, (_class, pieces)) in decomp.classes.iter().enumerate() {
+                    let layout = &layouts[ci];
+                    let packed = if blk.split {
+                        pack_pieces_split(layout, pieces, t)
+                    } else {
+                        pack_pieces(layout, pieces, t)
+                    };
+                    for slots in &packed {
+                        let ct = encryptor.encrypt(&encoder.encode(slots), rng);
+                        encrypt += 1;
+                        let blob = ct.to_bytes();
+                        let msg = if ci == 0 {
+                            WireMessage::PackedCt { seq, blob }
+                        } else {
+                            WireMessage::AuxCt {
+                                class: ci as u16,
+                                seq,
+                                blob,
+                            }
+                        };
+                        transport.send(&msg)?;
+                        seq += 1;
+                    }
+                }
+            }
+        }
+        Ok(ClientSendSummary {
+            encrypt,
+            input_cts: seq as usize,
+        })
+    }
+
+    /// Download phase: receives every masked result, decrypts, and
+    /// assembles the client's additive share. Needs no randomness, so
+    /// it can run concurrently with [`ClientConv::send_all`] over a
+    /// socket transport.
+    pub fn absorb_all(&self, transport: &dyn Transport) -> Result<ClientShare, SpotError> {
+        let expected = self.output_cts();
+        let decryptor = Decryptor::new(&self.ctx, self.keygen.secret_key().clone());
+        let t = self.ctx.params().plain_modulus();
+        let coeff_encoded = matches!(self.detail, PlanDetail::Cheetah { .. });
+        let encoder = BatchEncoder::new(&self.ctx);
+        let mut decoded: Vec<Option<Vec<u64>>> = vec![None; expected];
+        let mut decrypt = 0u64;
+        // An eagerly-pacing client never consumed the server's setup
+        // acknowledgement during `send_all`; it is the first downlink
+        // message, ahead of the masked results.
+        let mut first = Some(transport.recv()?);
+        if matches!(first, Some(WireMessage::LayerBarrier { .. })) {
+            first = None;
+        }
+        for _ in 0..expected {
+            let msg = match first.take() {
+                Some(m) => m,
+                None => transport.recv()?,
+            };
+            let WireMessage::MaskedResult { seq, blob } = msg else {
+                return Err(unexpected(&msg, "MaskedResult"));
+            };
+            let slot = decoded
+                .get_mut(seq as usize)
+                .ok_or_else(|| {
+                    SpotError::Protocol(format!(
+                        "result seq {seq} out of range (expected {expected} results)"
+                    ))
+                })?
+                .as_mut();
+            if slot.is_some() {
+                return Err(SpotError::Protocol(format!("duplicate result seq {seq}")));
+            }
+            let ct = Ciphertext::try_from_bytes(&self.ctx, &blob)?;
+            let plain = decryptor.decrypt(&ct);
+            decrypt += 1;
+            let values = if coeff_encoded {
+                plain.coeffs().to_vec()
+            } else {
+                encoder.decode(&plain)
+            };
+            decoded[seq as usize] = Some(values);
+        }
+        let mut decoded: Vec<Vec<u64>> = decoded
+            .into_iter()
+            .map(|d| d.expect("all sequence numbers seen"))
+            .collect();
+
+        let shape = &self.spec.shape;
+        let oh = shape.out_height();
+        let ow = shape.out_width();
+        let share = match &self.detail {
+            PlanDetail::Channelwise { layout, groups, .. } => {
+                let lane = self.ctx.degree() / 2;
+                let mut share = Tensor::zeros(shape.c_out, oh, ow);
+                for (k, values) in decoded.iter().enumerate() {
+                    for (lane_idx, row) in groups[k].out_ch.iter().enumerate() {
+                        for (b, ch) in row.iter().enumerate() {
+                            let Some(o) = *ch else { continue };
+                            for y in 0..oh {
+                                for x in 0..ow {
+                                    let idx = lane_idx * lane
+                                        + layout.slot(b, 0, y * shape.stride, x * shape.stride);
+                                    *share.at_mut(o, y, x) = centered(values[idx], t);
+                                }
+                            }
+                        }
+                    }
+                }
+                share
+            }
+            PlanDetail::Cheetah { geo } => {
+                let wp = shape.width + shape.k_w - 1;
+                let s_ch = geo.channel_coeffs;
+                let base = (geo.channels_per_ct - 1) * s_ch;
+                let ph = (shape.k_h - 1) / 2;
+                let pw = (shape.k_w - 1) / 2;
+                let mut share = Tensor::zeros(shape.c_out, oh, ow);
+                for (o, values) in decoded.iter().enumerate() {
+                    for y in 0..oh {
+                        for x in 0..ow {
+                            let idx = base + (y * shape.stride + ph) * wp + (x * shape.stride + pw);
+                            *share.at_mut(o, y, x) = centered(values[idx], t);
+                        }
+                    }
+                }
+                share
+            }
+            PlanDetail::Spot {
+                blk,
+                probe,
+                layouts,
+                class_cts,
+                groups,
+                ..
+            } => {
+                let out_groups = groups.len();
+                let mut client_pieces: Vec<Tensor> = Vec::new();
+                let mut j = 0usize;
+                for (ci, (class, pieces)) in probe.classes.iter().enumerate() {
+                    let mut group_slots: Vec<Vec<Vec<u64>>> = vec![Vec::new(); out_groups];
+                    for _ in 0..class_cts[ci] {
+                        for (g, gs) in group_slots.iter_mut().enumerate() {
+                            gs.push(std::mem::take(&mut decoded[j * out_groups + g]));
+                        }
+                        j += 1;
+                    }
+                    client_pieces.extend(spot::unpack_class_share(
+                        blk,
+                        &layouts[ci],
+                        pieces.len(),
+                        class.h,
+                        class.w,
+                        shape.c_out,
+                        t,
+                        &group_slots,
+                    ));
+                }
+                let full =
+                    crate::patching::assemble(probe, &client_pieces, shape.height, shape.width);
+                Tensor::from_fn(shape.c_out, oh, ow, |c, y, x| {
+                    full.at(c, y * shape.stride, x * shape.stride)
+                })
+            }
+        };
+        Ok(ClientShare {
+            share,
+            decrypt,
+            output_cts: expected,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Server session
+// ---------------------------------------------------------------------
+
+/// Outcome of one served convolution layer.
+#[derive(Debug)]
+pub struct ServerConvSummary {
+    /// The server's additive share of the (strided) output tensor.
+    pub server_share: Tensor,
+    /// HE operations performed on the server.
+    pub counts: OpCounts,
+    /// Input ciphertexts received.
+    pub input_cts: usize,
+    /// Masked result ciphertexts sent.
+    pub output_cts: usize,
+    /// Streaming stall accounting (None for the phased backend).
+    pub stream: Option<StreamStats>,
+}
+
+/// Server half of one secure-convolution layer: reads the hello,
+/// validates keys, convolves (phased or streamed), masks results back,
+/// and keeps the server's additive share. Draws only result masks from
+/// `rng`, in result order.
+pub fn serve_conv<R: Rng>(
+    ctx: &Arc<Context>,
+    transport: &dyn Transport,
+    kernel: &Kernel,
+    backend: &ExecBackend,
+    rng: &mut R,
+) -> Result<ServerConvSummary, SpotError> {
+    let msg = transport.recv()?;
+    let WireMessage::Setup(setup) = msg else {
+        return Err(unexpected(&msg, "Setup"));
+    };
+    let (spec, level) = LayerSpec::from_setup(&setup)?;
+    if level != ctx.params().level() {
+        return Err(SpotError::Protocol(format!(
+            "client level {level} does not match server context {}",
+            ctx.params().level()
+        )));
+    }
+    let shape = &spec.shape;
+    if kernel.out_channels() != shape.c_out
+        || kernel.in_channels() != shape.c_in
+        || kernel.k_h() != shape.k_h
+        || kernel.k_w() != shape.k_w
+    {
+        return Err(SpotError::Protocol(format!(
+            "kernel {}x{}x{}x{} does not match layer spec {}x{}x{}x{}",
+            kernel.out_channels(),
+            kernel.in_channels(),
+            kernel.k_h(),
+            kernel.k_w(),
+            shape.c_out,
+            shape.c_in,
+            shape.k_h,
+            shape.k_w
+        )));
+    }
+    let detail = plan_layer(&spec, level)?;
+    let elements = galois_elements(&spec, &detail);
+    let galois = if elements.is_empty() {
+        Arc::new(GaloisKeys::default())
+    } else {
+        let msg = transport.recv()?;
+        let WireMessage::GaloisKeys(blob) = msg else {
+            return Err(unexpected(&msg, "GaloisKeys"));
+        };
+        let gk = galois_keys_from_bytes(ctx, &blob)?;
+        for &e in &elements {
+            if !gk.contains(e) {
+                return Err(SpotError::Protocol(format!(
+                    "client rotation keys miss required galois element {e}"
+                )));
+            }
+        }
+        Arc::new(gk)
+    };
+    // Flow control: acknowledge the setup + key material before the
+    // client commits bandwidth to the upload. A paced client
+    // ([`UploadPacing::AwaitAck`]) holds its input ciphertexts until
+    // this arrives, so the upload lands inside the server's measured
+    // stall window instead of pre-buffering in the transport while the
+    // server is still deserializing rotation keys.
+    transport.send(&WireMessage::LayerBarrier { layer: 0 })?;
+    match detail {
+        PlanDetail::Channelwise {
+            geo,
+            layout,
+            groups,
+        } => serve_channelwise(
+            ctx, transport, kernel, &spec, &geo, &layout, &groups, galois, backend, rng,
+        ),
+        PlanDetail::Cheetah { geo } => {
+            serve_cheetah(ctx, transport, kernel, &spec, &geo, backend, rng)
+        }
+        PlanDetail::Spot {
+            blk,
+            probe,
+            layouts,
+            class_cts,
+            groups,
+            in_maps,
+            input_cts,
+        } => serve_spot(
+            ctx, transport, kernel, &spec, &blk, &probe, &layouts, &class_cts, &groups, &in_maps,
+            input_cts, galois, backend, rng,
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_channelwise<R: Rng>(
+    ctx: &Arc<Context>,
+    transport: &dyn Transport,
+    kernel: &Kernel,
+    spec: &LayerSpec,
+    geo: &channelwise::ChannelwiseGeometry,
+    layout: &LaneLayout,
+    groups: &[GroupSpec],
+    galois: Arc<GaloisKeys>,
+    backend: &ExecBackend,
+    rng: &mut R,
+) -> Result<ServerConvSummary, SpotError> {
+    let shape = &spec.shape;
+    let engine = HeConvEngine::with_keys(ctx, galois, false);
+    let mut counts = OpCounts::default();
+
+    let conv_one = |j: usize, ct: &Ciphertext| {
+        let map = channelwise::channel_map(geo, j, shape.c_in);
+        let mut in_maps = vec![map.clone()];
+        if geo.both_lanes {
+            in_maps.push(vec![map[1].clone(), map[0].clone()]);
+        }
+        let mut c = OpCounts::default();
+        let partials = engine.conv_one_ct(
+            ct,
+            &ConvRequest {
+                layout,
+                in_maps: &in_maps,
+                groups,
+                diagonals: geo.blocks_per_lane,
+                fold_steps: &[],
+                kernel,
+                cache_tag: j,
+            },
+            &mut c,
+        );
+        (partials, c)
+    };
+
+    let (per_ct, stream) = match backend {
+        ExecBackend::Phased(ex) => {
+            let mut cts = Vec::with_capacity(geo.input_cts);
+            for j in 0..geo.input_cts {
+                cts.push(recv_input_ct(transport, ctx, j, 0)?);
+            }
+            (ex.run(&cts, |j, ct| conv_one(j, ct)), None)
+        }
+        ExecBackend::Streaming(cfg) => {
+            let mut per_ct = Vec::with_capacity(geo.input_cts);
+            let stats = run_stream_barrier(
+                cfg,
+                geo.input_cts,
+                |feeder| {
+                    for j in 0..geo.input_cts {
+                        feeder.push(recv_input_ct(transport, ctx, j, 0)?)?;
+                    }
+                    Ok(())
+                },
+                |j, inputs: &[Ciphertext]| conv_one(j, &inputs[j]),
+                |_, r| {
+                    per_ct.push(r);
+                    Ok(())
+                },
+            )?;
+            (per_ct, Some(stats))
+        }
+    };
+
+    // Cross-ciphertext accumulation in input order, as a serial run.
+    let mut out_cts: Vec<Option<Ciphertext>> = vec![None; geo.output_cts];
+    for (partials, c) in per_ct {
+        counts.merge(&c);
+        for (k, p) in partials.into_iter().enumerate() {
+            match &mut out_cts[k] {
+                None => out_cts[k] = Some(p),
+                Some(acc) => {
+                    engine.evaluator().add_inplace(acc, &p);
+                    counts.add += 1;
+                }
+            }
+        }
+    }
+
+    // Mask, send, and keep the server share (masks in output order).
+    let t = ctx.params().plain_modulus();
+    let lane = ctx.degree() / 2;
+    let oh = shape.out_height();
+    let ow = shape.out_width();
+    let mut server_share = Tensor::zeros(shape.c_out, oh, ow);
+    for (k, maybe_ct) in out_cts.into_iter().enumerate() {
+        let ct = maybe_ct
+            .ok_or_else(|| SpotError::Protocol(format!("output group {k} produced no result")))?;
+        let r = draw_mask(rng, ctx.degree(), t);
+        let masked = engine
+            .evaluator()
+            .sub_plain(&ct, &engine.encoder().encode(&r));
+        counts.add += 1;
+        transport.send(&WireMessage::MaskedResult {
+            seq: k as u32,
+            blob: masked.to_bytes(),
+        })?;
+        for (lane_idx, row) in groups[k].out_ch.iter().enumerate() {
+            for (b, ch) in row.iter().enumerate() {
+                let Some(o) = *ch else { continue };
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let idx =
+                            lane_idx * lane + layout.slot(b, 0, y * shape.stride, x * shape.stride);
+                        *server_share.at_mut(o, y, x) = r[idx] as i64;
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(ServerConvSummary {
+        server_share,
+        counts,
+        input_cts: geo.input_cts,
+        output_cts: geo.output_cts,
+        stream,
+    })
+}
+
+fn serve_cheetah<R: Rng>(
+    ctx: &Arc<Context>,
+    transport: &dyn Transport,
+    kernel: &Kernel,
+    spec: &LayerSpec,
+    geo: &cheetah::CheetahGeometry,
+    backend: &ExecBackend,
+    rng: &mut R,
+) -> Result<ServerConvSummary, SpotError> {
+    let shape = &spec.shape;
+    let evaluator = Evaluator::new(ctx);
+    let n = ctx.degree();
+    let t = ctx.params().plain_modulus();
+    let wp = shape.width + shape.k_w - 1;
+    let s_ch = geo.channel_coeffs;
+    let chunk_cap = geo.channels_per_ct;
+    let all_channels: Vec<usize> = (0..shape.c_in).collect();
+    let chunks: Vec<&[usize]> = all_channels.chunks(chunk_cap).collect();
+    let input_cts = chunks.len();
+    let mut counts = OpCounts::default();
+
+    // One output channel's ring product summed over every chunk.
+    let product_for = |o: usize, inputs: &[Ciphertext]| {
+        let mut c_local = OpCounts::default();
+        let mut acc: Option<Ciphertext> = None;
+        for (ci_idx, chunk) in chunks.iter().enumerate() {
+            let mut wcoeffs = vec![0u64; n];
+            for (local, &c) in chunk.iter().enumerate() {
+                for u in 0..shape.k_h {
+                    for v in 0..shape.k_w {
+                        let w = kernel.at(o, c, u, v).rem_euclid(t as i64) as u64;
+                        let idx = (chunk_cap - 1 - local) * s_ch
+                            + (shape.k_h - 1 - u) * wp
+                            + (shape.k_w - 1 - v);
+                        wcoeffs[idx] = w;
+                    }
+                }
+            }
+            let prod = evaluator.multiply_plain(&inputs[ci_idx], &Plaintext::from_coeffs(wcoeffs));
+            c_local.mult_plain += 1;
+            match &mut acc {
+                None => acc = Some(prod),
+                Some(a) => {
+                    evaluator.add_inplace(a, &prod);
+                    c_local.add += 1;
+                }
+            }
+        }
+        (acc.expect("at least one chunk"), c_local)
+    };
+
+    let oh = shape.out_height();
+    let ow = shape.out_width();
+    let mut server_share = Tensor::zeros(shape.c_out, oh, ow);
+    let ph = (shape.k_h - 1) / 2;
+    let pw = (shape.k_w - 1) / 2;
+    let base = (chunk_cap - 1) * s_ch;
+    // Masks the accumulated product for output channel `o`, sends it,
+    // and records the server's share — rng strictly in `o` order.
+    let absorb = |o: usize,
+                  (out_ct, c_local): (Ciphertext, OpCounts),
+                  counts: &mut OpCounts,
+                  server_share: &mut Tensor,
+                  rng: &mut R|
+     -> Result<(), SpotError> {
+        counts.merge(&c_local);
+        let r = draw_mask(rng, n, t);
+        let masked = evaluator.sub_plain(&out_ct, &Plaintext::from_coeffs(r.clone()));
+        counts.add += 1;
+        transport.send(&WireMessage::MaskedResult {
+            seq: o as u32,
+            blob: masked.to_bytes(),
+        })?;
+        for y in 0..oh {
+            for x in 0..ow {
+                let idx = base + (y * shape.stride + ph) * wp + (x * shape.stride + pw);
+                *server_share.at_mut(o, y, x) = r[idx] as i64;
+            }
+        }
+        Ok(())
+    };
+
+    let stream = match backend {
+        ExecBackend::Phased(ex) => {
+            let mut cts = Vec::with_capacity(input_cts);
+            for j in 0..input_cts {
+                cts.push(recv_input_ct(transport, ctx, j, 0)?);
+            }
+            let out_channels: Vec<usize> = (0..shape.c_out).collect();
+            let accumulated = ex.run(&out_channels, |_, &o| product_for(o, &cts));
+            for (o, acc) in accumulated.into_iter().enumerate() {
+                absorb(o, acc, &mut counts, &mut server_share, rng)?;
+            }
+            None
+        }
+        ExecBackend::Streaming(cfg) => {
+            let counts_ref = &mut counts;
+            let share_ref = &mut server_share;
+            let rng_ref = &mut *rng;
+            let stats = run_stream_barrier(
+                cfg,
+                shape.c_out,
+                |feeder| {
+                    for j in 0..input_cts {
+                        feeder.push(recv_input_ct(transport, ctx, j, 0)?)?;
+                    }
+                    Ok(())
+                },
+                |o, inputs: &[Ciphertext]| product_for(o, inputs),
+                |o, acc| absorb(o, acc, counts_ref, share_ref, rng_ref),
+            )?;
+            Some(stats)
+        }
+    };
+
+    Ok(ServerConvSummary {
+        server_share,
+        counts,
+        input_cts,
+        output_cts: shape.c_out,
+        stream,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn serve_spot<R: Rng>(
+    ctx: &Arc<Context>,
+    transport: &dyn Transport,
+    kernel: &Kernel,
+    spec: &LayerSpec,
+    blk: &Blocking,
+    probe: &Decomposition,
+    layouts: &[LaneLayout],
+    class_cts: &[usize],
+    groups: &[GroupSpec],
+    in_maps: &[ChannelMap],
+    input_cts: usize,
+    galois: Arc<GaloisKeys>,
+    backend: &ExecBackend,
+    rng: &mut R,
+) -> Result<ServerConvSummary, SpotError> {
+    let shape = &spec.shape;
+    let t = ctx.params().plain_modulus();
+    let n = ctx.degree();
+    let out_groups = groups.len();
+    // One engine per class: the layouts differ, so sharing the
+    // NTT-domain kernel cache (keyed by `cache_tag` = 0 within a class)
+    // across classes would collide.
+    let engines: Vec<HeConvEngine> = layouts
+        .iter()
+        .map(|_| HeConvEngine::with_keys(ctx, Arc::clone(&galois), true))
+        .collect();
+    // Global ciphertext index → class index.
+    let ct_class: Vec<usize> = class_cts
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, &cnt)| std::iter::repeat_n(ci, cnt))
+        .collect();
+    debug_assert_eq!(ct_class.len(), input_cts);
+
+    let conv_one = |ci: usize, ct: &Ciphertext| {
+        let req = ConvRequest {
+            layout: &layouts[ci],
+            in_maps,
+            groups,
+            diagonals: blk.diagonals,
+            fold_steps: &blk.fold_steps,
+            kernel,
+            cache_tag: 0,
+        };
+        let mut c = OpCounts::default();
+        let outs = engines[ci].conv_one_ct(ct, &req, &mut c);
+        (outs, c)
+    };
+
+    let mut counts = OpCounts::default();
+    let mut server_pieces: Vec<Tensor> = Vec::new();
+    let mut seq_out = 0u32;
+
+    // Per-class consumer state: masks drawn per (ciphertext, group) in
+    // global order; a completed class unpacks into piece shares.
+    let mut group_server: Vec<Vec<Vec<u64>>> = vec![Vec::new(); out_groups];
+    let mut seen_cts = 0usize;
+    let absorb_ct = |ci: usize,
+                     outs: Vec<Ciphertext>,
+                     c: OpCounts,
+                     counts: &mut OpCounts,
+                     group_server: &mut Vec<Vec<Vec<u64>>>,
+                     seen_cts: &mut usize,
+                     server_pieces: &mut Vec<Tensor>,
+                     seq_out: &mut u32,
+                     rng: &mut R|
+     -> Result<(), SpotError> {
+        counts.merge(&c);
+        for (g, out_ct) in outs.into_iter().enumerate() {
+            let r = draw_mask(rng, n, t);
+            let masked = engines[ci]
+                .evaluator()
+                .sub_plain(&out_ct, &engines[ci].encoder().encode(&r));
+            counts.add += 1;
+            transport.send(&WireMessage::MaskedResult {
+                seq: *seq_out,
+                blob: masked.to_bytes(),
+            })?;
+            *seq_out += 1;
+            group_server[g].push(r);
+        }
+        *seen_cts += 1;
+        if *seen_cts == class_cts[ci] {
+            let (class, pieces) = &probe.classes[ci];
+            server_pieces.extend(spot::unpack_class_share(
+                blk,
+                &layouts[ci],
+                pieces.len(),
+                class.h,
+                class.w,
+                shape.c_out,
+                t,
+                group_server,
+            ));
+            for gs in group_server.iter_mut() {
+                gs.clear();
+            }
+            *seen_cts = 0;
+        }
+        Ok(())
+    };
+
+    let stream = match backend {
+        ExecBackend::Phased(ex) => {
+            // Receive the full upload, then convolve class by class.
+            let mut class_data: Vec<Vec<Ciphertext>> = vec![Vec::new(); layouts.len()];
+            for (j, &ci) in ct_class.iter().enumerate() {
+                class_data[ci].push(recv_input_ct(transport, ctx, j, ci)?);
+            }
+            for (ci, cts) in class_data.iter().enumerate() {
+                let convolved = ex.run(cts, |_, ct| conv_one(ci, ct));
+                for (outs, c) in convolved {
+                    absorb_ct(
+                        ci,
+                        outs,
+                        c,
+                        &mut counts,
+                        &mut group_server,
+                        &mut seen_cts,
+                        &mut server_pieces,
+                        &mut seq_out,
+                        rng,
+                    )?;
+                }
+            }
+            None
+        }
+        ExecBackend::Streaming(cfg) => {
+            let counts_ref = &mut counts;
+            let group_server_ref = &mut group_server;
+            let seen_ref = &mut seen_cts;
+            let pieces_ref = &mut server_pieces;
+            let seq_ref = &mut seq_out;
+            let rng_ref = &mut *rng;
+            let ct_class_ref = &ct_class;
+            let conv_one_ref = &conv_one;
+            let stats = run_stream(
+                cfg,
+                // Ingest: validate and forward each upload the moment
+                // it arrives — SPOT's per-input dependency means
+                // convolution starts immediately. Deserialization
+                // happens on the worker pool so the ingest thread goes
+                // straight back to the transport.
+                |feeder| {
+                    for (j, &ci) in ct_class_ref.iter().enumerate() {
+                        feeder.push((ci, recv_input_blob(transport, j, ci)?))?;
+                    }
+                    Ok(())
+                },
+                |_, (ci, blob): (usize, Vec<u8>)| {
+                    let ct = Ciphertext::try_from_bytes(ctx, &blob)?;
+                    let (outs, c) = conv_one_ref(ci, &ct);
+                    Ok::<_, SpotError>((ci, outs, c))
+                },
+                // Caller thread, in upload order: mask and return each
+                // result, overlapped with ongoing uploads.
+                |_, convolved| {
+                    let (ci, outs, c) = convolved?;
+                    absorb_ct(
+                        ci,
+                        outs,
+                        c,
+                        counts_ref,
+                        group_server_ref,
+                        seen_ref,
+                        pieces_ref,
+                        seq_ref,
+                        rng_ref,
+                    )
+                },
+            )?;
+            Some(stats)
+        }
+    };
+
+    // Classes with zero pieces never trigger the unpack above; they
+    // also contribute no pieces to the assembly, so nothing is lost.
+    let full = crate::patching::assemble(probe, &server_pieces, shape.height, shape.width);
+    let server_share = Tensor::from_fn(
+        shape.c_out,
+        shape.out_height(),
+        shape.out_width(),
+        |c, y, x| full.at(c, y * shape.stride, x * shape.stride),
+    );
+
+    Ok(ServerConvSummary {
+        server_share,
+        counts,
+        input_cts,
+        output_cts: input_cts * out_groups,
+        stream,
+    })
+}
+
+// ---------------------------------------------------------------------
+// In-process combinator
+// ---------------------------------------------------------------------
+
+/// Result of an in-process client/server run: the merged functional
+/// result plus per-direction traffic measured from the real serialized
+/// frames.
+#[derive(Debug)]
+pub struct InProcessOutcome {
+    /// Shares, merged op counts, and ciphertext counts.
+    pub result: SecureConvResult,
+    /// Streaming stall accounting (None for the phased backend).
+    pub stream: Option<StreamStats>,
+    /// Client → server traffic (framed wire bytes).
+    pub uplink: TrafficStats,
+    /// Server → client traffic (framed wire bytes).
+    pub downlink: TrafficStats,
+}
+
+/// Runs one secure convolution with both parties in this process over a
+/// [`MemTransport`], exchanging real serialized frames.
+///
+/// Client and server randomness is split deterministically from `rng`
+/// (one seed draw each, in that order) so phased and streaming runs of
+/// the same seed produce bit-identical shares. With the phased backend
+/// the parties run sequentially on the calling thread; with the
+/// streaming backend the client uploads from a second thread through a
+/// bounded uplink sized to the stream config's channel capacity.
+#[allow(clippy::too_many_arguments)]
+pub fn run_in_process<R: Rng>(
+    ctx: &Arc<Context>,
+    keygen: &KeyGenerator,
+    input: &Tensor,
+    kernel: &Kernel,
+    stride: usize,
+    patch: (usize, usize),
+    mode: PatchMode,
+    scheme: SchemeKind,
+    backend: &ExecBackend,
+    rng: &mut R,
+) -> Result<InProcessOutcome, SpotError> {
+    let spec = LayerSpec {
+        scheme,
+        shape: ConvShape {
+            width: input.width(),
+            height: input.height(),
+            c_in: input.channels(),
+            c_out: kernel.out_channels(),
+            k_h: kernel.k_h(),
+            k_w: kernel.k_w(),
+            stride,
+        },
+        patch,
+        mode,
+    };
+    let client_seed = rng.gen::<u64>();
+    let server_seed = rng.gen::<u64>();
+    let client = ClientConv::new(ctx, keygen, spec)?;
+
+    let (sent, mut server, share, client_transport) = match backend {
+        ExecBackend::Phased(_) => {
+            let (ct, st) = MemTransport::pair();
+            let mut crng = StdRng::seed_from_u64(client_seed);
+            let sent = client.send_all(&ct, input, UploadPacing::Eager, &mut crng)?;
+            let mut srng = StdRng::seed_from_u64(server_seed);
+            let server = serve_conv(ctx, &st, kernel, backend, &mut srng)?;
+            let share = client.absorb_all(&ct)?;
+            (sent, server, share, ct)
+        }
+        ExecBackend::Streaming(cfg) => {
+            let (ct, st) = MemTransport::pair_with_capacity(Some(cfg.channel_capacity), None);
+            let ct_ref = &ct;
+            let st_ref = &st;
+            let client_ref = &client;
+            let scope_result = crossbeam::thread::scope(|s| {
+                let uploader = s.spawn(move |_| {
+                    let t0 = Instant::now();
+                    let r = client_ref.send_all(
+                        ct_ref,
+                        input,
+                        UploadPacing::AwaitAck,
+                        &mut StdRng::seed_from_u64(client_seed),
+                    );
+                    // Always close: a server stuck in recv after a client
+                    // failure sees Closed instead of blocking forever.
+                    ct_ref.close_tx();
+                    (r, t0.elapsed())
+                });
+                let mut srng = StdRng::seed_from_u64(server_seed);
+                let server_res = serve_conv(ctx, st_ref, kernel, backend, &mut srng);
+                if server_res.is_err() {
+                    // Unblock a client stuck on the bounded uplink.
+                    ct_ref.close_tx();
+                    st_ref.close_tx();
+                }
+                let (client_res, client_wall) = uploader.join().expect("client thread panicked");
+                (server_res, client_res, client_wall)
+            });
+            let (server_res, client_res, client_wall) = match scope_result {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            let mut server = server_res?;
+            let sent = client_res?;
+            // The barrier/stream stats measured the server's ingest loop
+            // as "client"; substitute the real client thread's wall time
+            // and the transport's measured send backpressure.
+            if let Some(stats) = server.stream.as_mut() {
+                let blocked = ct.stats().send_blocked.as_secs_f64();
+                stats.client_blocked_s = blocked;
+                stats.client_s = (client_wall.as_secs_f64() - blocked).max(0.0);
+            }
+            let share = client.absorb_all(&ct)?;
+            (sent, server, share, ct)
+        }
+    };
+
+    let mut counts = server.counts;
+    counts.encrypt += sent.encrypt;
+    counts.decrypt += share.decrypt;
+    let tstats = client_transport.stats();
+    Ok(InProcessOutcome {
+        result: SecureConvResult {
+            client_share: share.share,
+            server_share: server.server_share,
+            counts,
+            input_cts: server.input_cts,
+            output_cts: server.output_cts,
+            modulus: ctx.params().plain_modulus(),
+        },
+        stream: server.stream.take(),
+        uplink: tstats.sent,
+        downlink: tstats.received,
+    })
+}

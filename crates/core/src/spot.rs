@@ -15,26 +15,26 @@
 //! into `C_o/C_i` blocks of size `C_i` (one output ciphertext each);
 //! when `C_o < C_i` the diagonals are concatenated across `C_i` and the
 //! partial sums folded with `log2(C_i/C_o)` rotate-and-add steps.
+//!
+//! The drivers here are thin wrappers over the session layer
+//! ([`crate::session`]): client and server run as separate state
+//! machines over an in-process transport exchanging real wire frames.
 
 use crate::channelwise::SecureConvResult;
 use crate::executor::Executor;
-use crate::heconv::{ChannelMap, ConvRequest, GroupSpec, HeConvEngine};
-use crate::layout::{
-    next_pow2, pack_pieces, pack_pieces_split, unpack_pieces, unpack_pieces_split, LaneLayout,
-};
+use crate::heconv::{ChannelMap, GroupSpec};
+use crate::layout::{next_pow2, unpack_pieces, unpack_pieces_split, LaneLayout};
 use crate::patching::{decompose, PatchMode};
-use crate::stream::{run_stream, StreamConfig, StreamStats};
+use crate::session::{run_in_process, ExecBackend, SchemeKind};
+use crate::stream::{StreamConfig, StreamStats};
 use rand::Rng;
-use spot_he::ciphertext::Ciphertext;
 use spot_he::context::Context;
-use spot_he::encryptor::{Decryptor, Encryptor};
 use spot_he::evaluator::OpCounts;
 use spot_he::keys::KeyGenerator;
 use spot_he::params::ParamLevel;
 use spot_pipeline::plan::{ConvPlan, OutputDependency};
 use spot_tensor::models::ConvShape;
 use spot_tensor::tensor::{Kernel, Tensor};
-use std::sync::mpsc;
 use std::sync::Arc;
 
 /// Kernel blocking configuration derived from channel counts (Fig. 7).
@@ -149,6 +149,53 @@ pub fn spot_in_maps(blk: &Blocking, c_in: usize) -> Vec<ChannelMap> {
     }
 }
 
+/// Unpacks one class's per-group slot vectors (one party's decoded
+/// results or masks) into per-piece share tensors. Used symmetrically
+/// by the client and server halves of the session.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn unpack_class_share(
+    blk: &Blocking,
+    layout: &LaneLayout,
+    pieces_len: usize,
+    class_h: usize,
+    class_w: usize,
+    c_out: usize,
+    t: u64,
+    group_slots: &[Vec<Vec<u64>>],
+) -> Vec<Tensor> {
+    let ch_in_group = if blk.co_pad >= blk.ci_pad {
+        blk.ci_pad
+    } else {
+        blk.co_pad
+    };
+    let mut class_out = vec![Tensor::zeros(c_out, class_h, class_w); pieces_len];
+    for (g, slots) in group_slots.iter().enumerate() {
+        let cp = if blk.split {
+            unpack_pieces_split(layout, slots, pieces_len, ch_in_group, t)
+        } else {
+            unpack_pieces(layout, slots, pieces_len, ch_in_group, t)
+        };
+        for pi in 0..pieces_len {
+            for local_c in 0..ch_in_group {
+                let global_c = if blk.co_pad >= blk.ci_pad {
+                    g * blk.ci_pad + local_c
+                } else {
+                    local_c
+                };
+                if global_c >= c_out {
+                    continue;
+                }
+                for y in 0..class_h {
+                    for x in 0..class_w {
+                        *class_out[pi].at_mut(global_c, y, x) = cp[pi].at(local_c, y, x);
+                    }
+                }
+            }
+        }
+    }
+    class_out
+}
+
 /// Executes the SPOT secure convolution end to end on a single thread.
 ///
 /// `patch` is the main patch size `(ph, pw)` (see [`crate::select`] for
@@ -186,8 +233,8 @@ pub fn execute<R: Rng>(
 /// Executes the SPOT secure convolution with the server-side
 /// per-ciphertext convolutions fanned across `executor`'s worker pool.
 ///
-/// All randomness (encryption and masking) is drawn on the calling
-/// thread in a fixed order, and the parallel phase is pure, so the
+/// All randomness (encryption and masking) is drawn sequentially in a
+/// fixed order per party, and the parallel phase is pure, so the
 /// result — shares, counts and all — is bit-identical for every thread
 /// count.
 ///
@@ -207,197 +254,33 @@ pub fn execute_with<R: Rng>(
     executor: &Executor,
     rng: &mut R,
 ) -> SecureConvResult {
-    let t = ctx.params().plain_modulus();
-    let lane = ctx.degree() / 2;
-    let blk = blocking(input.channels(), kernel.out_channels());
-    let decomp = decompose(input, patch.0, patch.1, kernel.k_h(), mode);
-    let groups = spot_group_specs(&blk, kernel.out_channels());
-    let in_maps = spot_in_maps(&blk, input.channels());
-
-    let encryptor = Encryptor::new(ctx, keygen.public_key(rng));
-    let decryptor = Decryptor::new(ctx, keygen.secret_key().clone());
-    let mut counts = OpCounts::default();
-    let mut input_ct_count = 0usize;
-    let mut output_ct_count = 0usize;
-
-    // Per-class processing: pack → encrypt → convolve each ciphertext
-    // independently → mask → decrypt → unpack per-piece outputs.
-    let mut client_pieces: Vec<Tensor> = Vec::new();
-    let mut server_pieces: Vec<Tensor> = Vec::new();
-    for (class, pieces) in &decomp.classes {
-        let layout = LaneLayout::new(lane, blk.lane_blocks, class.h, class.w);
-        let engine = HeConvEngine::new(
-            ctx,
-            keygen,
-            &layout,
-            kernel.k_h(),
-            kernel.k_w(),
-            blk.diagonals,
-            blk.out_groups,
-            &blk.fold_steps,
-            blk.split,
-            true,
-            rng,
-        );
-        let packed = if blk.split {
-            pack_pieces_split(&layout, pieces, t)
-        } else {
-            pack_pieces(&layout, pieces, t)
-        };
-        input_ct_count += packed.len();
-        let mut group_slots: Vec<Vec<Vec<u64>>> = vec![Vec::new(); groups.len()];
-        let mut group_server: Vec<Vec<Vec<u64>>> = vec![Vec::new(); groups.len()];
-        // Client phase (sequential, consumes rng): encrypt every packed
-        // ciphertext of the class.
-        let cts: Vec<_> = packed
-            .iter()
-            .map(|slots| {
-                counts.encrypt += 1;
-                encryptor.encrypt(&engine.encoder().encode(slots), rng)
-            })
-            .collect();
-        // Server phase (parallel, pure): convolve each ciphertext
-        // independently; workers tally their own op counts.
-        let req = ConvRequest {
-            layout: &layout,
-            in_maps: &in_maps,
-            groups: &groups,
-            diagonals: blk.diagonals,
-            fold_steps: &blk.fold_steps,
-            kernel,
-            cache_tag: 0,
-        };
-        let convolved = executor.run(&cts, |_, ct| {
-            let mut c = OpCounts::default();
-            let outs = engine.conv_one_ct(ct, &req, &mut c);
-            (outs, c)
-        });
-        // Mask/decrypt phase (sequential, consumes rng) in ciphertext
-        // order, exactly as a serial run would.
-        for (outs, c) in convolved {
-            counts.merge(&c);
-            output_ct_count += outs.len();
-            for (g, out_ct) in outs.into_iter().enumerate() {
-                let r: Vec<u64> = (0..ctx.degree()).map(|_| rng.gen_range(0..t)).collect();
-                let masked = engine
-                    .evaluator()
-                    .sub_plain(&out_ct, &engine.encoder().encode(&r));
-                counts.add += 1;
-                let decoded = engine.encoder().decode(&decryptor.decrypt(&masked));
-                counts.decrypt += 1;
-                group_slots[g].push(decoded);
-                group_server[g].push(r);
-            }
-        }
-        // Assemble per-piece output tensors across groups.
-        let (class_client, class_server) = unpack_class_shares(
-            &blk,
-            &layout,
-            pieces.len(),
-            class.h,
-            class.w,
-            kernel.out_channels(),
-            t,
-            &group_slots,
-            &group_server,
-        );
-        client_pieces.extend(class_client);
-        server_pieces.extend(class_server);
-    }
-
-    // Client-side (and symmetric server-side) share assembly (Fig. 10).
-    let client_full =
-        crate::patching::assemble(&decomp, &client_pieces, input.height(), input.width());
-    let server_full =
-        crate::patching::assemble(&decomp, &server_pieces, input.height(), input.width());
-
-    // Stride extraction.
-    let oh = input.height().div_ceil(stride);
-    let ow = input.width().div_ceil(stride);
-    let pick = |full: &Tensor| {
-        Tensor::from_fn(kernel.out_channels(), oh, ow, |c, y, x| {
-            full.at(c, y * stride, x * stride)
-        })
-    };
-
-    SecureConvResult {
-        client_share: pick(&client_full),
-        server_share: pick(&server_full),
-        counts,
-        input_cts: input_ct_count,
-        output_cts: output_ct_count,
-        modulus: t,
-    }
-}
-
-/// Unpacks one class's masked group slots into per-piece client/server
-/// share tensors (shared by the phased and streaming drivers).
-#[allow(clippy::too_many_arguments)]
-fn unpack_class_shares(
-    blk: &Blocking,
-    layout: &LaneLayout,
-    pieces_len: usize,
-    class_h: usize,
-    class_w: usize,
-    c_out: usize,
-    t: u64,
-    group_slots: &[Vec<Vec<u64>>],
-    group_server: &[Vec<Vec<u64>>],
-) -> (Vec<Tensor>, Vec<Tensor>) {
-    let ch_in_group = if blk.co_pad >= blk.ci_pad {
-        blk.ci_pad
-    } else {
-        blk.co_pad
-    };
-    let mut class_client = vec![Tensor::zeros(c_out, class_h, class_w); pieces_len];
-    let mut class_server = vec![Tensor::zeros(c_out, class_h, class_w); pieces_len];
-    for g in 0..group_slots.len() {
-        let (cp, sp) = if blk.split {
-            (
-                unpack_pieces_split(layout, &group_slots[g], pieces_len, ch_in_group, t),
-                unpack_pieces_split(layout, &group_server[g], pieces_len, ch_in_group, t),
-            )
-        } else {
-            (
-                unpack_pieces(layout, &group_slots[g], pieces_len, ch_in_group, t),
-                unpack_pieces(layout, &group_server[g], pieces_len, ch_in_group, t),
-            )
-        };
-        for pi in 0..pieces_len {
-            for local_c in 0..ch_in_group {
-                let global_c = if blk.co_pad >= blk.ci_pad {
-                    g * blk.ci_pad + local_c
-                } else {
-                    local_c
-                };
-                if global_c >= c_out {
-                    continue;
-                }
-                for y in 0..class_h {
-                    for x in 0..class_w {
-                        *class_client[pi].at_mut(global_c, y, x) = cp[pi].at(local_c, y, x);
-                        *class_server[pi].at_mut(global_c, y, x) = sp[pi].at(local_c, y, x);
-                    }
-                }
-            }
-        }
-    }
-    (class_client, class_server)
+    run_in_process(
+        ctx,
+        keygen,
+        input,
+        kernel,
+        stride,
+        patch,
+        mode,
+        SchemeKind::Spot,
+        &ExecBackend::Phased(*executor),
+        rng,
+    )
+    .expect("in-process SPOT session")
+    .result
 }
 
 /// Executes the SPOT secure convolution as a real client/server
-/// pipeline: the producer (client) thread packs and encrypts each
-/// ciphertext and streams it through the bounded channel of
-/// [`crate::stream::run_stream`]; server workers convolve every
-/// ciphertext the moment it arrives (SPOT's per-input dependency —
-/// no barrier); masked results are decrypted and unpacked on the
-/// caller's thread overlapped with ongoing uploads.
+/// pipeline: the client thread packs and encrypts each ciphertext and
+/// streams it through a bounded in-process transport; server workers
+/// convolve every ciphertext the moment it arrives (SPOT's per-input
+/// dependency — no barrier); masked results return to the client
+/// overlapped with ongoing uploads.
 ///
-/// All randomness is drawn on the producer thread in exactly the
-/// phased order of [`execute_with`] (public key, then per class:
-/// rotation keys → encryptions → masks), so the returned shares and
-/// operation counts are bit-identical to the phased driver for any
-/// worker count and channel capacity, given the same rng seed.
+/// Client and server randomness are split from `rng` exactly as in the
+/// phased driver, so the returned shares and operation counts are
+/// bit-identical to [`execute_with`] for any worker count and channel
+/// capacity, given the same rng seed.
 ///
 /// # Panics
 ///
@@ -414,181 +297,23 @@ pub fn execute_streaming<R: Rng + Send>(
     config: &StreamConfig,
     rng: &mut R,
 ) -> (SecureConvResult, StreamStats) {
-    let t = ctx.params().plain_modulus();
-    let lane = ctx.degree() / 2;
-    let degree = ctx.degree();
-    let c_out = kernel.out_channels();
-    let blk = blocking(input.channels(), kernel.out_channels());
-    let decomp = decompose(input, patch.0, patch.1, kernel.k_h(), mode);
-    let groups = spot_group_specs(&blk, kernel.out_channels());
-    let in_maps = spot_in_maps(&blk, input.channels());
-    let layouts: Vec<LaneLayout> = decomp
-        .classes
-        .iter()
-        .map(|(class, _)| LaneLayout::new(lane, blk.lane_blocks, class.h, class.w))
-        .collect();
-
-    let decryptor = Decryptor::new(ctx, keygen.secret_key().clone());
-    // Masks and per-class engines travel producer → consumer on a side
-    // channel so the rng sequence stays entirely on the producer thread.
-    type ClassMsg = (usize, Arc<HeConvEngine>, Vec<Vec<Vec<u64>>>);
-    let (mask_tx, mask_rx) = mpsc::channel::<ClassMsg>();
-
-    let mut counts = OpCounts::default();
-    let mut output_ct_count = 0usize;
-    let mut client_pieces: Vec<Tensor> = Vec::new();
-    let mut server_pieces: Vec<Tensor> = Vec::new();
-
-    // Consumer-side class assembly state.
-    let mut current: Option<ClassMsg> = None;
-    let mut seen_cts = 0usize;
-    let mut group_slots: Vec<Vec<Vec<u64>>> = vec![Vec::new(); groups.len()];
-    let mut group_server: Vec<Vec<Vec<u64>>> = vec![Vec::new(); groups.len()];
-
-    let decomp_ref = &decomp;
-    let layouts_ref = &layouts;
-    let blk_ref = &blk;
-    let groups_ref = &groups;
-    let in_maps_ref = &in_maps;
-
-    let stats = run_stream(
-        config,
-        // Producer: the client. Draws every rng value in phased order.
-        move |feeder| {
-            let encryptor = Encryptor::new(ctx, keygen.public_key(rng));
-            for (ci, (_class, pieces)) in decomp_ref.classes.iter().enumerate() {
-                let layout = &layouts_ref[ci];
-                let engine = Arc::new(HeConvEngine::new(
-                    ctx,
-                    keygen,
-                    layout,
-                    kernel.k_h(),
-                    kernel.k_w(),
-                    blk_ref.diagonals,
-                    blk_ref.out_groups,
-                    &blk_ref.fold_steps,
-                    blk_ref.split,
-                    true,
-                    rng,
-                ));
-                let packed = if blk_ref.split {
-                    pack_pieces_split(layout, pieces, t)
-                } else {
-                    pack_pieces(layout, pieces, t)
-                };
-                let n_cts = packed.len();
-                for slots in &packed {
-                    let ct = encryptor.encrypt(&engine.encoder().encode(slots), rng);
-                    feeder.push((ci, engine.clone(), ct));
-                }
-                // Phased driver draws each ciphertext's group masks right
-                // after the class's encryptions; mirror that order here.
-                let masks: Vec<Vec<Vec<u64>>> = (0..n_cts)
-                    .map(|_| {
-                        (0..groups_ref.len())
-                            .map(|_| (0..degree).map(|_| rng.gen_range(0..t)).collect())
-                            .collect()
-                    })
-                    .collect();
-                mask_tx
-                    .send((ci, engine, masks))
-                    .expect("consumer holds the mask receiver");
-            }
-        },
-        // Server work: pure per-ciphertext convolution.
-        |_, (ci, engine, ct): (usize, Arc<HeConvEngine>, Ciphertext)| {
-            let req = ConvRequest {
-                layout: &layouts_ref[ci],
-                in_maps: in_maps_ref,
-                groups: groups_ref,
-                diagonals: blk_ref.diagonals,
-                fold_steps: &blk_ref.fold_steps,
-                kernel,
-                cache_tag: 0,
-            };
-            let mut c = OpCounts::default();
-            let outs = engine.conv_one_ct(&ct, &req, &mut c);
-            (ci, outs, c)
-        },
-        // Consume (caller thread, in ciphertext order): mask, decrypt,
-        // unpack — overlapped with production and convolution.
-        |_, (ci, outs, c): (usize, Vec<Ciphertext>, OpCounts)| {
-            counts.merge(&c);
-            output_ct_count += outs.len();
-            // Advance to this class's mask message (blocks until the
-            // producer has drawn them; skips classes with no outputs).
-            while current.as_ref().map(|m| m.0) != Some(ci) {
-                current = Some(
-                    mask_rx
-                        .recv()
-                        .expect("producer sends one message per class"),
-                );
-                seen_cts = 0;
-            }
-            let (_, engine, masks) = current.as_mut().expect("just set");
-            for (g, out_ct) in outs.into_iter().enumerate() {
-                let r = std::mem::take(&mut masks[seen_cts][g]);
-                let masked = engine
-                    .evaluator()
-                    .sub_plain(&out_ct, &engine.encoder().encode(&r));
-                counts.add += 1;
-                let decoded = engine.encoder().decode(&decryptor.decrypt(&masked));
-                counts.decrypt += 1;
-                group_slots[g].push(decoded);
-                group_server[g].push(r);
-            }
-            seen_cts += 1;
-            if seen_cts == masks.len() {
-                let (class, pieces) = &decomp_ref.classes[ci];
-                let (cc, cs) = unpack_class_shares(
-                    blk_ref,
-                    &layouts_ref[ci],
-                    pieces.len(),
-                    class.h,
-                    class.w,
-                    c_out,
-                    t,
-                    &group_slots,
-                    &group_server,
-                );
-                client_pieces.extend(cc);
-                server_pieces.extend(cs);
-                for gs in group_slots.iter_mut() {
-                    gs.clear();
-                }
-                for gs in group_server.iter_mut() {
-                    gs.clear();
-                }
-                current = None;
-            }
-        },
-    );
-    // Encryptions happened on the producer thread; account for them here
-    // (OpCounts fields are plain sums, so totals match the phased run).
-    counts.encrypt += stats.input_items as u64;
-
-    let client_full =
-        crate::patching::assemble(&decomp, &client_pieces, input.height(), input.width());
-    let server_full =
-        crate::patching::assemble(&decomp, &server_pieces, input.height(), input.width());
-
-    let oh = input.height().div_ceil(stride);
-    let ow = input.width().div_ceil(stride);
-    let pick = |full: &Tensor| {
-        Tensor::from_fn(kernel.out_channels(), oh, ow, |c, y, x| {
-            full.at(c, y * stride, x * stride)
-        })
-    };
-
-    let result = SecureConvResult {
-        client_share: pick(&client_full),
-        server_share: pick(&server_full),
-        counts,
-        input_cts: stats.input_items,
-        output_cts: output_ct_count,
-        modulus: t,
-    };
-    (result, stats)
+    let outcome = run_in_process(
+        ctx,
+        keygen,
+        input,
+        kernel,
+        stride,
+        patch,
+        mode,
+        SchemeKind::Spot,
+        &ExecBackend::Streaming(*config),
+        rng,
+    )
+    .expect("in-process SPOT session");
+    let stats = outcome
+        .stream
+        .expect("streaming backend reports stall stats");
+    (outcome.result, stats)
 }
 
 /// Piece-class geometry used by the planner.

@@ -44,6 +44,7 @@
 //! [`spot_pipeline::report::StallRow`] rendered by
 //! [`spot_pipeline::report::stall_table`].
 
+use crate::error::SpotError;
 use crate::executor::Executor;
 use crossbeam::thread;
 use spot_he::pool;
@@ -110,52 +111,65 @@ impl<T> BoundedQueue<T> {
     }
 
     /// Sends an item, blocking while the queue is full; returns the
-    /// time spent blocked.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the queue has been closed.
-    pub fn send(&self, item: T) -> Duration {
+    /// time spent blocked. Sending on a closed queue or through a
+    /// poisoned lock returns an error instead of panicking.
+    pub fn send(&self, item: T) -> Result<Duration, SpotError> {
         let mut blocked = Duration::ZERO;
-        let mut st = self.state.lock().unwrap();
+        let mut st = self
+            .state
+            .lock()
+            .map_err(|_| SpotError::Poisoned("stream queue"))?;
         while st.items.len() >= self.capacity && !st.closed {
             let t0 = Instant::now();
-            st = self.can_send.wait(st).unwrap();
+            st = self
+                .can_send
+                .wait(st)
+                .map_err(|_| SpotError::Poisoned("stream queue"))?;
             blocked += t0.elapsed();
         }
-        assert!(!st.closed, "send on closed queue");
+        if st.closed {
+            return Err(SpotError::Disconnected("send on closed stream queue"));
+        }
         st.items.push_back(item);
         drop(st);
         self.can_recv.notify_one();
-        blocked
+        Ok(blocked)
     }
 
     /// Receives an item, blocking while the queue is empty and open;
     /// returns `None` once closed and drained, plus the time spent
     /// blocked.
-    pub fn recv(&self) -> (Option<T>, Duration) {
+    pub fn recv(&self) -> Result<(Option<T>, Duration), SpotError> {
         let mut blocked = Duration::ZERO;
-        let mut st = self.state.lock().unwrap();
+        let mut st = self
+            .state
+            .lock()
+            .map_err(|_| SpotError::Poisoned("stream queue"))?;
         loop {
             if let Some(item) = st.items.pop_front() {
                 drop(st);
                 self.can_send.notify_one();
-                return (Some(item), blocked);
+                return Ok((Some(item), blocked));
             }
             if st.closed {
-                return (None, blocked);
+                return Ok((None, blocked));
             }
             let t0 = Instant::now();
-            st = self.can_recv.wait(st).unwrap();
+            st = self
+                .can_recv
+                .wait(st)
+                .map_err(|_| SpotError::Poisoned("stream queue"))?;
             blocked += t0.elapsed();
         }
     }
 
-    /// Closes the queue: senders panic, receivers drain then get `None`.
+    /// Closes the queue: senders get an error, receivers drain then get
+    /// `None`. Idempotent; a poisoned lock is ignored (the panic that
+    /// poisoned it is already propagating).
     pub fn close(&self) {
-        let mut st = self.state.lock().unwrap();
-        st.closed = true;
-        drop(st);
+        if let Ok(mut st) = self.state.lock() {
+            st.closed = true;
+        }
         self.can_send.notify_all();
         self.can_recv.notify_all();
     }
@@ -323,8 +337,9 @@ impl<'q, T> Feeder<'q, T> {
     }
 
     /// Pushes the next item (index assigned in push order), blocking on
-    /// backpressure.
-    pub fn push(&mut self, item: T) {
+    /// backpressure. Fails if the queue was closed or poisoned
+    /// underneath the producer (e.g. the server side died).
+    pub fn push(&mut self, item: T) -> Result<(), SpotError> {
         let i = self.next_index;
         let produced = Instant::now();
         self.events.extend(event(
@@ -334,7 +349,7 @@ impl<'q, T> Feeder<'q, T> {
             self.last,
             produced,
         ));
-        let waited = self.queue.send((i, item));
+        let waited = self.queue.send((i, item))?;
         if waited > Duration::ZERO {
             let now = Instant::now();
             self.events.extend(event(
@@ -348,6 +363,7 @@ impl<'q, T> Feeder<'q, T> {
         self.blocked += waited;
         self.next_index += 1;
         self.last = Instant::now();
+        Ok(())
     }
 
     /// Items pushed so far.
@@ -368,9 +384,9 @@ fn run_producer<T, P>(
     t0: Instant,
     channel_capacity: usize,
     producer: P,
-) -> ProducerOutcome
+) -> Result<ProducerOutcome, SpotError>
 where
-    P: FnOnce(&mut Feeder<'_, T>),
+    P: FnOnce(&mut Feeder<'_, T>) -> Result<(), SpotError>,
 {
     // Client memory model: a ciphertext is two residue polynomials, so a
     // budget of `channel_capacity` in-flight ciphertexts bounds the
@@ -381,7 +397,9 @@ where
     pool::set_capacity(2 * channel_capacity);
     debug_assert!(pool::capacity() <= 2 * channel_capacity);
     let mut feeder = Feeder::new(queue, t0);
-    producer(&mut feeder);
+    let result = producer(&mut feeder);
+    // Close and restore the pool even on failure, so workers drain and
+    // exit instead of blocking forever.
     queue.close();
     let outcome = ProducerOutcome {
         events: std::mem::take(&mut feeder.events),
@@ -390,7 +408,7 @@ where
         finished: Instant::now(),
     };
     pool::set_capacity(prev_cap);
-    outcome
+    result.map(|()| outcome)
 }
 
 // ---------------------------------------------------------------------
@@ -413,13 +431,13 @@ pub fn run_stream<T, R, P, W, C>(
     producer: P,
     work: W,
     mut consume: C,
-) -> StreamStats
+) -> Result<StreamStats, SpotError>
 where
     T: Send,
     R: Send,
-    P: FnOnce(&mut Feeder<'_, T>) + Send,
+    P: FnOnce(&mut Feeder<'_, T>) -> Result<(), SpotError> + Send,
     W: Fn(usize, T) -> R + Sync,
-    C: FnMut(usize, R),
+    C: FnMut(usize, R) -> Result<(), SpotError>,
 {
     let t0 = Instant::now();
     let in_q: BoundedQueue<(usize, T)> = BoundedQueue::bounded(config.channel_capacity);
@@ -448,7 +466,7 @@ where
                 let mut events: Vec<StreamEvent> = Vec::new();
                 loop {
                     let wait_start = Instant::now();
-                    let (msg, waited) = in_q.recv();
+                    let (msg, waited) = in_q.recv()?;
                     idle += waited;
                     let Some((i, item)) = msg else { break };
                     events.extend(event(&lane, "idle", t0, wait_start, Instant::now()));
@@ -457,26 +475,41 @@ where
                     let job_end = Instant::now();
                     busy += job_end.duration_since(job_start);
                     events.extend(event(&lane, format!("conv #{i}"), t0, job_start, job_end));
-                    out_q.send((i, r));
+                    out_q.send((i, r))?;
                 }
-                (idle, busy, events)
+                Ok::<_, SpotError>((idle, busy, events))
             });
             // All workers have exited: no more results will appear.
             out_q.close();
             per_worker
         });
 
-        // Overlapped assembly on the caller's thread, in item order.
+        // Overlapped assembly on the caller's thread, in item order. On a
+        // consume failure, stop assembling but keep draining so the
+        // producer and workers can exit before the error propagates.
         let mut pending: BTreeMap<usize, R> = BTreeMap::new();
         let mut next = 0usize;
         let mut assemble_events: Vec<StreamEvent> = Vec::new();
+        let mut assemble_err: Option<SpotError> = None;
         loop {
-            let (msg, _) = out_q.recv();
+            let (msg, _) = match out_q.recv() {
+                Ok(m) => m,
+                Err(e) => {
+                    assemble_err.get_or_insert(e);
+                    break;
+                }
+            };
             let Some((i, r)) = msg else { break };
+            if assemble_err.is_some() {
+                continue;
+            }
             pending.insert(i, r);
             while let Some(r) = pending.remove(&next) {
                 let c_start = Instant::now();
-                consume(next, r);
+                if let Err(e) = consume(next, r) {
+                    assemble_err.get_or_insert(e);
+                    break;
+                }
                 assemble_events.extend(event(
                     "assemble",
                     format!("out #{next}"),
@@ -487,18 +520,21 @@ where
                 next += 1;
             }
         }
-        debug_assert!(pending.is_empty(), "result indices must be contiguous");
 
         let produced = producer_handle.join().expect("producer thread panicked");
         let per_worker = server_handle.join().expect("server pool panicked");
-        (produced, per_worker, assemble_events, next)
+        (produced, per_worker, assemble_events, assemble_err, next)
     });
 
-    let (produced, per_worker, assemble_events, consumed) = match scope_result {
+    let (produced, per_worker, assemble_events, assemble_err, consumed) = match scope_result {
         Ok(v) => v,
         Err(payload) => std::panic::resume_unwind(payload),
     };
 
+    let produced = produced?;
+    if let Some(e) = assemble_err {
+        return Err(e);
+    }
     stats.wall_s = t0.elapsed().as_secs_f64();
     stats.client_blocked_s = produced.blocked.as_secs_f64();
     stats.client_s = produced
@@ -509,7 +545,8 @@ where
     stats.input_items = produced.pushed;
     stats.output_items = consumed;
     stats.events.extend(produced.events);
-    for (idle, busy, events) in per_worker {
+    for worker_result in per_worker {
+        let (idle, busy, events) = worker_result?;
         stats.server_idle_s += idle.as_secs_f64();
         stats.server_busy_s += busy.as_secs_f64();
         stats.events.extend(events);
@@ -520,7 +557,7 @@ where
             .partial_cmp(&b.start_s)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    stats
+    Ok(stats)
 }
 
 // ---------------------------------------------------------------------
@@ -541,13 +578,13 @@ pub fn run_stream_barrier<T, R, P, W, C>(
     producer: P,
     work: W,
     mut consume: C,
-) -> StreamStats
+) -> Result<StreamStats, SpotError>
 where
     T: Send + Sync,
     R: Send,
-    P: FnOnce(&mut Feeder<'_, T>) + Send,
+    P: FnOnce(&mut Feeder<'_, T>) -> Result<(), SpotError> + Send,
     W: Fn(usize, &[T]) -> R + Sync,
-    C: FnMut(usize, R),
+    C: FnMut(usize, R) -> Result<(), SpotError>,
 {
     let t0 = Instant::now();
     let in_q: BoundedQueue<(usize, T)> = BoundedQueue::bounded(config.channel_capacity);
@@ -566,19 +603,30 @@ where
         let producer_handle =
             s.spawn(move |_| run_producer(in_q, t0, config.channel_capacity, producer));
         let mut inputs: Vec<T> = Vec::new();
+        let mut drain_err: Option<SpotError> = None;
         loop {
-            let (msg, _) = in_q.recv();
+            let (msg, _) = match in_q.recv() {
+                Ok(m) => m,
+                Err(e) => {
+                    drain_err.get_or_insert(e);
+                    break;
+                }
+            };
             let Some((i, item)) = msg else { break };
             debug_assert_eq!(i, inputs.len(), "single producer delivers in order");
             inputs.push(item);
         }
         let produced = producer_handle.join().expect("producer thread panicked");
-        (inputs, produced)
+        (inputs, produced, drain_err)
     });
-    let (inputs, produced) = match scope_result {
+    let (inputs, produced, drain_err) = match scope_result {
         Ok(v) => v,
         Err(payload) => std::panic::resume_unwind(payload),
     };
+    let produced = produced?;
+    if let Some(e) = drain_err {
+        return Err(e);
+    }
 
     let barrier_cleared = Instant::now();
     let upload_span = barrier_cleared.duration_since(t0);
@@ -635,7 +683,8 @@ where
     }
     for (j, slot) in slots.into_iter().enumerate() {
         let c_start = Instant::now();
-        consume(j, slot.expect("every job produced a result"));
+        let r = slot.ok_or(SpotError::Disconnected("barrier job produced no result"))?;
+        consume(j, r)?;
         stats.events.extend(event(
             "assemble",
             format!("out #{j}"),
@@ -651,7 +700,7 @@ where
             .partial_cmp(&b.start_s)
             .unwrap_or(std::cmp::Ordering::Equal)
     });
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -666,12 +715,19 @@ mod tests {
     #[test]
     fn queue_fifo_and_close() {
         let q: BoundedQueue<u32> = BoundedQueue::bounded(4);
-        q.send(1);
-        q.send(2);
-        assert_eq!(q.recv().0, Some(1));
+        q.send(1).unwrap();
+        q.send(2).unwrap();
+        assert_eq!(q.recv().unwrap().0, Some(1));
         q.close();
-        assert_eq!(q.recv().0, Some(2));
-        assert_eq!(q.recv().0, None);
+        assert_eq!(q.recv().unwrap().0, Some(2));
+        assert_eq!(q.recv().unwrap().0, None);
+    }
+
+    #[test]
+    fn send_on_closed_queue_errors_instead_of_panicking() {
+        let q: BoundedQueue<u32> = BoundedQueue::bounded(4);
+        q.close();
+        assert!(matches!(q.send(1), Err(SpotError::Disconnected(_))));
     }
 
     #[test]
@@ -682,17 +738,17 @@ mod tests {
             let q = &q;
             let released = &released;
             s.spawn(move |_| {
-                q.send(1); // fills the queue
-                let waited = q.send(2); // must block until recv
+                q.send(1).unwrap(); // fills the queue
+                let waited = q.send(2).unwrap(); // must block until recv
                 assert!(released.load(Ordering::SeqCst), "send returned before recv");
                 assert!(waited > Duration::ZERO);
                 q.close();
             });
             std::thread::sleep(Duration::from_millis(30));
             released.store(true, Ordering::SeqCst);
-            assert_eq!(q.recv().0, Some(1));
-            assert_eq!(q.recv().0, Some(2));
-            assert_eq!(q.recv().0, None);
+            assert_eq!(q.recv().unwrap().0, Some(1));
+            assert_eq!(q.recv().unwrap().0, Some(2));
+            assert_eq!(q.recv().unwrap().0, None);
         })
         .unwrap();
     }
@@ -706,8 +762,9 @@ mod tests {
                     &cfg(threads, cap),
                     |feeder| {
                         for v in 0..50u64 {
-                            feeder.push(v);
+                            feeder.push(v)?;
                         }
+                        Ok(())
                     },
                     |i, v| {
                         // uneven cost to shuffle completion order
@@ -719,8 +776,12 @@ mod tests {
                         std::hint::black_box(acc);
                         (i as u64) * 100 + v
                     },
-                    |i, r| out.push((i, r)),
-                );
+                    |i, r| {
+                        out.push((i, r));
+                        Ok(())
+                    },
+                )
+                .unwrap();
                 let expect: Vec<(usize, u64)> =
                     (0..50).map(|v| (v as usize, (v as u64) * 101)).collect();
                 assert_eq!(out, expect, "threads={threads} cap={cap}");
@@ -732,6 +793,21 @@ mod tests {
     }
 
     #[test]
+    fn producer_error_propagates_without_deadlock() {
+        let err = run_stream(
+            &cfg(2, 1),
+            |feeder: &mut Feeder<'_, u64>| {
+                feeder.push(1)?;
+                Err(SpotError::Protocol("client gave up".into()))
+            },
+            |_, v: u64| v,
+            |_, _| Ok(()),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SpotError::Protocol(_)));
+    }
+
+    #[test]
     fn barrier_waits_for_all_inputs() {
         let seen = Mutex::new(Vec::new());
         let stats = run_stream_barrier(
@@ -740,15 +816,20 @@ mod tests {
             |feeder| {
                 for v in 0..6u64 {
                     std::thread::sleep(Duration::from_millis(5));
-                    feeder.push(v);
+                    feeder.push(v)?;
                 }
+                Ok(())
             },
             |j, inputs: &[u64]| {
                 assert_eq!(inputs.len(), 6, "all inputs staged before any job");
                 j as u64 + inputs.iter().sum::<u64>()
             },
-            |j, r| seen.lock().unwrap().push((j, r)),
-        );
+            |j, r| {
+                seen.lock().unwrap().push((j, r));
+                Ok(())
+            },
+        )
+        .unwrap();
         assert_eq!(seen.into_inner().unwrap(), vec![(0, 15), (1, 16), (2, 17)]);
         assert_eq!(stats.input_items, 6);
         assert_eq!(stats.output_items, 3);
@@ -768,8 +849,9 @@ mod tests {
         let produce = |feeder: &mut Feeder<'_, u64>| {
             for v in 0..8u64 {
                 std::thread::sleep(Duration::from_millis(4));
-                feeder.push(v);
+                feeder.push(v)?;
             }
+            Ok(())
         };
         let spin = |v: u64| {
             let t = Instant::now();
@@ -778,14 +860,15 @@ mod tests {
             }
             v
         };
-        let s1 = run_stream(&cfg(1, 2), produce, |_, v| spin(v), |_, _| {});
+        let s1 = run_stream(&cfg(1, 2), produce, |_, v| spin(v), |_, _| Ok(())).unwrap();
         let s2 = run_stream_barrier(
             &cfg(1, 2),
             8,
             produce,
             |j, _: &[u64]| spin(j as u64),
-            |_, _| {},
-        );
+            |_, _| Ok(()),
+        )
+        .unwrap();
         assert!(
             s1.server_idle_s < s2.server_idle_s,
             "per-input idle {} should beat barrier idle {}",

@@ -45,6 +45,7 @@ pub mod params;
 pub mod poly;
 pub mod pool;
 pub mod primes;
+pub mod serial;
 
 /// Convenient re-exports of the main API types.
 pub mod prelude {

@@ -1,0 +1,294 @@
+//! Validated (non-panicking) serialization for HE objects that travel
+//! on the wire: ciphertexts, public keys, and Galois rotation keys.
+//!
+//! The byte layouts reuse [`Ciphertext::to_bytes`]'s bit-packing (each
+//! RNS modulus's residues packed at that modulus's width), and every
+//! decoder rejects malformed input — wrong header, truncated payload,
+//! trailing bytes, or residues outside `[0, q_i)` — with a
+//! [`SerialError`] instead of panicking, so garbage received from a
+//! network peer can never crash a session.
+//!
+//! `GaloisKeys` entries are written **sorted by Galois element** so the
+//! encoding is deterministic (the in-memory store is a `HashMap` with
+//! nondeterministic iteration order).
+
+use crate::ciphertext::{pack_bits, unpack_bits_into, Ciphertext};
+use crate::context::Context;
+use crate::keys::{GaloisKeys, KeySwitchKey, PublicKey};
+use crate::poly::{Poly, PolyForm};
+use crate::pool;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from validated HE deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerialError {
+    /// Input shorter than its declared or implied layout.
+    Truncated,
+    /// Header fields (degree / modulus count) disagree with the context.
+    HeaderMismatch,
+    /// Total input length disagrees with the expected layout.
+    LengthMismatch,
+    /// A packed residue is not reduced modulo its RNS modulus.
+    ResidueOutOfRange,
+    /// Structural corruption (bad counts, trailing bytes, …).
+    Malformed(String),
+}
+
+impl fmt::Display for SerialError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerialError::Truncated => write!(f, "truncated HE object"),
+            SerialError::HeaderMismatch => write!(f, "header does not match context"),
+            SerialError::LengthMismatch => write!(f, "payload length mismatch"),
+            SerialError::ResidueOutOfRange => write!(f, "residue not reduced mod q_i"),
+            SerialError::Malformed(m) => write!(f, "malformed HE object: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SerialError {}
+
+/// Bytes one packed polynomial occupies under `ctx`.
+fn poly_packed_bytes(ctx: &Context) -> usize {
+    let n = ctx.degree();
+    ctx.moduli()
+        .iter()
+        .map(|m| {
+            let bits = 64 - m.value().leading_zeros() as usize;
+            (n * bits).div_ceil(8)
+        })
+        .sum()
+}
+
+fn write_poly(out: &mut Vec<u8>, poly: &Poly) {
+    let ctx = poly.context();
+    for (i, m) in ctx.moduli().iter().enumerate() {
+        let bits = 64 - m.value().leading_zeros() as usize;
+        out.extend_from_slice(&pack_bits(poly.residues(i), bits));
+    }
+}
+
+/// Reads one packed NTT-form polynomial, validating residue ranges.
+fn read_poly(ctx: &Arc<Context>, bytes: &[u8], off: &mut usize) -> Result<Poly, SerialError> {
+    let n = ctx.degree();
+    let k = ctx.moduli_count();
+    let mut data = pool::take(k * n);
+    for (i, m) in ctx.moduli().iter().enumerate() {
+        let bits = 64 - m.value().leading_zeros() as usize;
+        let section = (n * bits).div_ceil(8);
+        let src = bytes
+            .get(*off..*off + section)
+            .ok_or(SerialError::Truncated)?;
+        unpack_bits_into(src, bits, &mut data[i * n..(i + 1) * n]);
+        if data[i * n..(i + 1) * n].iter().any(|&v| v >= m.value()) {
+            return Err(SerialError::ResidueOutOfRange);
+        }
+        *off += section;
+    }
+    Ok(Poly::from_residues(ctx, data, PolyForm::Ntt))
+}
+
+impl Ciphertext {
+    /// Non-panicking counterpart of [`Ciphertext::from_bytes`]: rejects
+    /// header mismatches, truncation, trailing bytes, and unreduced
+    /// residues with an error instead of panicking.
+    pub fn try_from_bytes(ctx: &Arc<Context>, bytes: &[u8]) -> Result<Self, SerialError> {
+        let hdr = bytes.get(0..16).ok_or(SerialError::Truncated)?;
+        let hdr_n = u64::from_le_bytes(hdr[0..8].try_into().expect("8-byte slice")) as usize;
+        let hdr_k = u64::from_le_bytes(hdr[8..16].try_into().expect("8-byte slice")) as usize;
+        if (hdr_n, hdr_k) != (ctx.degree(), ctx.moduli_count()) {
+            return Err(SerialError::HeaderMismatch);
+        }
+        if bytes.len() != ctx.params().ciphertext_bytes() {
+            return Err(SerialError::LengthMismatch);
+        }
+        let mut off = 16usize;
+        let c0 = read_poly(ctx, bytes, &mut off)?;
+        let c1 = read_poly(ctx, bytes, &mut off)?;
+        if off != bytes.len() {
+            return Err(SerialError::LengthMismatch);
+        }
+        Ok(Self::from_parts(c0, c1))
+    }
+}
+
+/// Serializes a public key: packed `b` then `a`.
+pub fn public_key_to_bytes(pk: &PublicKey) -> Vec<u8> {
+    let mut out = Vec::new();
+    write_poly(&mut out, &pk.b);
+    write_poly(&mut out, &pk.a);
+    out
+}
+
+/// Deserializes a public key produced by [`public_key_to_bytes`].
+pub fn public_key_from_bytes(ctx: &Arc<Context>, bytes: &[u8]) -> Result<PublicKey, SerialError> {
+    if bytes.len() != 2 * poly_packed_bytes(ctx) {
+        return Err(SerialError::LengthMismatch);
+    }
+    let mut off = 0usize;
+    let b = read_poly(ctx, bytes, &mut off)?;
+    let a = read_poly(ctx, bytes, &mut off)?;
+    Ok(PublicKey { b, a })
+}
+
+/// Serializes Galois keys deterministically: `[count u32]` then, per
+/// entry **sorted by Galois element**, `[elt u64][pair_count u32]`
+/// followed by each key-switch pair's `(b, a)` packed polynomials.
+pub fn galois_keys_to_bytes(gk: &GaloisKeys) -> Vec<u8> {
+    let mut elements: Vec<usize> = gk.elements().collect();
+    elements.sort_unstable();
+    let mut out = Vec::new();
+    out.extend_from_slice(&(elements.len() as u32).to_le_bytes());
+    for elt in elements {
+        let ksk = &gk.keys[&elt];
+        out.extend_from_slice(&(elt as u64).to_le_bytes());
+        out.extend_from_slice(&(ksk.pairs.len() as u32).to_le_bytes());
+        for (b, a) in &ksk.pairs {
+            write_poly(&mut out, b);
+            write_poly(&mut out, a);
+        }
+    }
+    out
+}
+
+/// Deserializes Galois keys produced by [`galois_keys_to_bytes`].
+pub fn galois_keys_from_bytes(ctx: &Arc<Context>, bytes: &[u8]) -> Result<GaloisKeys, SerialError> {
+    let count = read_u32(bytes, 0)? as usize;
+    // Sanity bound: no real key set has anywhere near this many entries.
+    if count > 1 << 16 {
+        return Err(SerialError::Malformed(format!(
+            "implausible galois entry count {count}"
+        )));
+    }
+    let mut off = 4usize;
+    let mut keys = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let elt_bytes = bytes.get(off..off + 8).ok_or(SerialError::Truncated)?;
+        let elt = u64::from_le_bytes(elt_bytes.try_into().expect("8-byte slice")) as usize;
+        off += 8;
+        let pair_count = read_u32(bytes, off)? as usize;
+        off += 4;
+        if pair_count == 0 || pair_count > ctx.moduli_count() {
+            return Err(SerialError::Malformed(format!(
+                "bad key-switch digit count {pair_count}"
+            )));
+        }
+        let mut pairs = Vec::with_capacity(pair_count);
+        for _ in 0..pair_count {
+            let b = read_poly(ctx, bytes, &mut off)?;
+            let a = read_poly(ctx, bytes, &mut off)?;
+            pairs.push((b, a));
+        }
+        if keys.insert(elt, KeySwitchKey { pairs }).is_some() {
+            return Err(SerialError::Malformed(format!(
+                "duplicate galois element {elt}"
+            )));
+        }
+    }
+    if off != bytes.len() {
+        return Err(SerialError::LengthMismatch);
+    }
+    Ok(GaloisKeys { keys })
+}
+
+fn read_u32(bytes: &[u8], off: usize) -> Result<u32, SerialError> {
+    let s = bytes.get(off..off + 4).ok_or(SerialError::Truncated)?;
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::BatchEncoder;
+    use crate::encryptor::{Decryptor, Encryptor};
+    use crate::evaluator::Evaluator;
+    use crate::keys::KeyGenerator;
+    use crate::params::{EncryptionParams, ParamLevel};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> Arc<Context> {
+        Context::new(EncryptionParams::new(ParamLevel::N4096))
+    }
+
+    #[test]
+    fn public_key_roundtrip_encrypts() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(3);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let pk = kg.public_key(&mut rng);
+        let bytes = public_key_to_bytes(&pk);
+        let pk2 = public_key_from_bytes(&ctx, &bytes).unwrap();
+        let encoder = BatchEncoder::new(&ctx);
+        let enc = Encryptor::new(&ctx, pk2);
+        let dec = Decryptor::new(&ctx, kg.secret_key().clone());
+        let ct = enc.encrypt(&encoder.encode(&[5, 6, 7]), &mut rng);
+        assert_eq!(&encoder.decode(&dec.decrypt(&ct))[..3], &[5, 6, 7]);
+    }
+
+    #[test]
+    fn galois_keys_roundtrip_is_deterministic_and_rotates() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(4);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let elts = [
+            crate::encoding::galois_elt_from_step(1, ctx.degree()),
+            crate::encoding::galois_elt_from_step(-2, ctx.degree()),
+        ];
+        let gk = kg.galois_keys(&elts, &mut rng);
+        let bytes = galois_keys_to_bytes(&gk);
+        // Deterministic despite HashMap storage.
+        assert_eq!(bytes, galois_keys_to_bytes(&gk));
+        let gk2 = galois_keys_from_bytes(&ctx, &bytes).unwrap();
+        assert_eq!(bytes, galois_keys_to_bytes(&gk2));
+
+        let encoder = BatchEncoder::new(&ctx);
+        let enc = Encryptor::new(&ctx, kg.public_key(&mut rng));
+        let dec = Decryptor::new(&ctx, kg.secret_key().clone());
+        let ev = Evaluator::new(&ctx);
+        let values: Vec<u64> = (0..ctx.degree() as u64).map(|i| i % 97).collect();
+        let ct = enc.encrypt(&encoder.encode(&values), &mut rng);
+        let rot = ev.rotate_rows(&ct, 1, &gk2);
+        let out = encoder.decode(&dec.decrypt(&rot));
+        let expected = crate::encoding::rotate_slots_reference(&values, 1);
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn try_from_bytes_rejects_garbage() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(5);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let encoder = BatchEncoder::new(&ctx);
+        let enc = Encryptor::new(&ctx, kg.public_key(&mut rng));
+        let ct = enc.encrypt(&encoder.encode(&[1, 2]), &mut rng);
+        let good = ct.to_bytes();
+        assert!(Ciphertext::try_from_bytes(&ctx, &good).is_ok());
+        // truncations
+        for cut in [0usize, 7, 16, good.len() - 1] {
+            assert!(Ciphertext::try_from_bytes(&ctx, &good[..cut]).is_err());
+        }
+        // header mismatch
+        let mut bad = good.clone();
+        bad[0] = 0xFF;
+        assert!(matches!(
+            Ciphertext::try_from_bytes(&ctx, &bad),
+            Err(SerialError::HeaderMismatch)
+        ));
+        // unreduced residues (all bits set in the body)
+        let mut bad = good;
+        for b in bad.iter_mut().skip(16) {
+            *b = 0xFF;
+        }
+        assert!(matches!(
+            Ciphertext::try_from_bytes(&ctx, &bad),
+            Err(SerialError::ResidueOutOfRange)
+        ));
+        // garbage keys never panic
+        assert!(public_key_from_bytes(&ctx, &[1, 2, 3]).is_err());
+        assert!(galois_keys_from_bytes(&ctx, &[0xFF; 64]).is_err());
+        assert!(galois_keys_from_bytes(&ctx, &[]).is_err());
+    }
+}

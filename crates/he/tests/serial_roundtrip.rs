@@ -1,0 +1,153 @@
+//! Property tests for the validated wire serialization: encode→decode
+//! identity for ciphertexts (fresh and mod-switched) and key material
+//! at N = 4096 and N = 8192, plus rejection (never a panic) of
+//! truncated and corrupted inputs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spot_he::ciphertext::Ciphertext;
+use spot_he::context::Context;
+use spot_he::encoding::BatchEncoder;
+use spot_he::encryptor::{Decryptor, Encryptor};
+use spot_he::keys::KeyGenerator;
+use spot_he::modswitch::ModSwitch;
+use spot_he::params::{EncryptionParams, ParamLevel};
+use spot_he::serial::{
+    galois_keys_from_bytes, galois_keys_to_bytes, public_key_from_bytes, public_key_to_bytes,
+};
+use std::sync::{Arc, OnceLock};
+
+fn ctx(level: ParamLevel) -> &'static Arc<Context> {
+    static N4096: OnceLock<Arc<Context>> = OnceLock::new();
+    static N8192: OnceLock<Arc<Context>> = OnceLock::new();
+    match level {
+        ParamLevel::N4096 => N4096.get_or_init(|| Context::new(EncryptionParams::new(level))),
+        ParamLevel::N8192 => N8192.get_or_init(|| Context::new(EncryptionParams::new(level))),
+        _ => unreachable!("test levels"),
+    }
+}
+
+fn level_of(code: u8) -> ParamLevel {
+    if code == 0 {
+        ParamLevel::N4096
+    } else {
+        ParamLevel::N8192
+    }
+}
+
+fn encrypt_random(ctx: &Arc<Context>, seed: u64) -> Ciphertext {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kg = KeyGenerator::new(ctx, &mut rng);
+    let enc = Encryptor::new(ctx, kg.public_key(&mut rng));
+    let encoder = BatchEncoder::new(ctx);
+    let t = ctx.params().plain_modulus();
+    let slots: Vec<u64> = (0..ctx.degree()).map(|i| (seed + i as u64) % t).collect();
+    enc.encrypt(&encoder.encode(&slots), &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn ciphertext_roundtrip_is_bit_identical(level in 0u8..2, seed in 0u64..1_000_000) {
+        let ctx = ctx(level_of(level));
+        let ct = encrypt_random(ctx, seed);
+        let bytes = ct.to_bytes();
+        let back = Ciphertext::try_from_bytes(ctx, &bytes)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn modswitched_ciphertext_roundtrips_in_target_context(seed in 0u64..1_000_000) {
+        // N8192 carries ≥ 2 RNS primes, so one switch is always legal.
+        let src = ctx(ParamLevel::N8192);
+        let ct = encrypt_random(src, seed);
+        let sw = ModSwitch::new(src);
+        let small = sw.switch(&ct);
+        let bytes = small.to_bytes();
+        let tgt = sw.target_context();
+        let back = Ciphertext::try_from_bytes(tgt, &bytes)
+            .map_err(|e| TestCaseError::fail(format!("decode failed: {e}")))?;
+        prop_assert_eq!(back.to_bytes(), bytes);
+        // The switched blob no longer parses in the source context.
+        prop_assert!(Ciphertext::try_from_bytes(src, &bytes).is_err());
+    }
+
+    #[test]
+    fn key_material_roundtrips(level in 0u8..2, seed in 0u64..1_000_000) {
+        let ctx = ctx(level_of(level));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let kg = KeyGenerator::new(ctx, &mut rng);
+        let pk = kg.public_key(&mut rng);
+        let pk_bytes = public_key_to_bytes(&pk);
+        let pk2 = public_key_from_bytes(ctx, &pk_bytes)
+            .map_err(|e| TestCaseError::fail(format!("pk decode: {e}")))?;
+        prop_assert_eq!(public_key_to_bytes(&pk2), pk_bytes);
+
+        let gk = kg.galois_keys(&[3, 9, ctx.degree() * 2 - 1], &mut rng);
+        let gk_bytes = galois_keys_to_bytes(&gk);
+        let gk2 = galois_keys_from_bytes(ctx, &gk_bytes)
+            .map_err(|e| TestCaseError::fail(format!("gk decode: {e}")))?;
+        prop_assert_eq!(galois_keys_to_bytes(&gk2), gk_bytes);
+    }
+
+    #[test]
+    fn truncation_rejected_without_panic(level in 0u8..2, seed in 0u64..1_000_000, cut in 1usize..4096) {
+        let ctx = ctx(level_of(level));
+        let bytes = encrypt_random(ctx, seed).to_bytes();
+        let cut = cut.min(bytes.len());
+        prop_assert!(Ciphertext::try_from_bytes(ctx, &bytes[..bytes.len() - cut]).is_err());
+        // Trailing garbage is a length mismatch, not a prefix parse.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        prop_assert!(Ciphertext::try_from_bytes(ctx, &extended).is_err());
+    }
+
+    #[test]
+    fn garbage_bytes_rejected_without_panic(blob in collection::vec(0u8..=255, 0..4096)) {
+        let c4 = ctx(ParamLevel::N4096);
+        let _ = Ciphertext::try_from_bytes(c4, &blob);
+        let _ = public_key_from_bytes(c4, &blob);
+        let _ = galois_keys_from_bytes(c4, &blob);
+        // Reaching here without a panic is the property; decoding
+        // arbitrary bytes must fail closed.
+        prop_assert!(Ciphertext::try_from_bytes(c4, &blob).is_err() || blob.len() == c4.params().ciphertext_bytes());
+    }
+
+    #[test]
+    fn corrupted_residues_rejected_or_decode_to_valid_ct(seed in 0u64..1_000_000, flip in 16usize..4096) {
+        let ctx = ctx(ParamLevel::N4096);
+        let ct = encrypt_random(ctx, seed);
+        let mut bytes = ct.to_bytes();
+        let i = 16 + (flip % (bytes.len() - 16));
+        bytes[i] ^= 0xFF;
+        // A bit-flip either fails validation (residue out of range) or
+        // still decodes to *some* structurally valid ciphertext that
+        // re-serializes to the same bytes — never a panic, never an
+        // out-of-range residue accepted.
+        if let Ok(back) = Ciphertext::try_from_bytes(ctx, &bytes) {
+            prop_assert_eq!(back.to_bytes(), bytes);
+        }
+    }
+}
+
+/// Decrypt-correctness across the wire: what the server decodes is the
+/// same ciphertext the client encrypted.
+#[test]
+fn roundtripped_ciphertext_still_decrypts() {
+    for level in [ParamLevel::N4096, ParamLevel::N8192] {
+        let ctx = ctx(level);
+        let mut rng = StdRng::seed_from_u64(4242);
+        let kg = KeyGenerator::new(ctx, &mut rng);
+        let enc = Encryptor::new(ctx, kg.public_key(&mut rng));
+        let dec = Decryptor::new(ctx, kg.secret_key().clone());
+        let encoder = BatchEncoder::new(ctx);
+        let t = ctx.params().plain_modulus();
+        let slots: Vec<u64> = (0..ctx.degree()).map(|i| (i as u64 * 31 + 7) % t).collect();
+        let ct = enc.encrypt(&encoder.encode(&slots), &mut rng);
+        let back = Ciphertext::try_from_bytes(ctx, &ct.to_bytes()).expect("roundtrip");
+        assert_eq!(encoder.decode(&dec.decrypt(&back)), slots);
+    }
+}

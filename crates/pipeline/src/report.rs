@@ -129,6 +129,49 @@ pub fn stall_table(title: impl Into<String>, rows: &[StallRow]) -> String {
     t.render()
 }
 
+/// One direction of a session's wire traffic: real framed byte and
+/// message counts from a transport, the wall-clock the transfer
+/// actually took (zero when it was not measured separately), and what
+/// a link model predicts for the same bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferRow {
+    /// Direction label (`client -> server`, `server -> client`).
+    pub direction: String,
+    /// Framed wire bytes (headers + payloads).
+    pub bytes: u64,
+    /// Protocol messages.
+    pub messages: u64,
+    /// Measured transfer wall-clock in seconds (0 if unmeasured).
+    pub measured_s: f64,
+    /// Link-model-predicted transfer time for the same byte count.
+    pub modeled_s: f64,
+}
+
+/// Renders measured-vs-modeled transfer accounting for a session: the
+/// real frames a transport moved against what a bandwidth/latency link
+/// model predicts for those bytes. The caller computes `modeled_s` so
+/// this crate stays renderer-only.
+pub fn transfer_table(title: impl Into<String>, rows: &[TransferRow]) -> String {
+    let mut t = Table::new(
+        title,
+        &["direction", "bytes", "messages", "measured", "modeled"],
+    );
+    for r in rows {
+        t.row(&[
+            r.direction.clone(),
+            r.bytes.to_string(),
+            r.messages.to_string(),
+            if r.measured_s > 0.0 {
+                secs(r.measured_s)
+            } else {
+                "-".into()
+            },
+            secs(r.modeled_s),
+        ]);
+    }
+    t.render()
+}
+
 /// Formats seconds with 3 decimal places and an `s` suffix.
 pub fn secs(v: f64) -> String {
     format!("{v:.3}s")

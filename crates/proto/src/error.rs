@@ -1,0 +1,60 @@
+//! Typed errors for the wire protocol and its transports.
+//!
+//! Hand-rolled (thiserror-style) so the crate stays dependency-free:
+//! each variant carries just enough context to diagnose a malformed
+//! frame or a dead connection without panicking.
+
+use std::fmt;
+
+/// Errors produced by wire-message codecs and transports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The peer closed the connection cleanly (EOF between frames).
+    Closed,
+    /// The peer hung up while messages were still expected.
+    Disconnected,
+    /// A frame carried an unsupported protocol version byte.
+    BadVersion(u8),
+    /// A frame carried an unknown message tag.
+    BadTag(u8),
+    /// A frame or payload was shorter than its declared layout.
+    Truncated,
+    /// A frame declared a payload length above [`MAX_FRAME`].
+    ///
+    /// [`MAX_FRAME`]: crate::wire::MAX_FRAME
+    TooLarge(usize),
+    /// Payload bytes failed structural validation.
+    Malformed(String),
+    /// An underlying socket error.
+    Io(String),
+    /// A lock guarding transport state was poisoned by a panic.
+    Poisoned,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Closed => write!(f, "connection closed by peer"),
+            ProtoError::Disconnected => write!(f, "peer disconnected mid-protocol"),
+            ProtoError::BadVersion(v) => write!(f, "unsupported wire protocol version {v}"),
+            ProtoError::BadTag(t) => write!(f, "unknown wire message tag {t}"),
+            ProtoError::Truncated => write!(f, "truncated frame or payload"),
+            ProtoError::TooLarge(n) => write!(f, "frame payload of {n} bytes exceeds limit"),
+            ProtoError::Malformed(m) => write!(f, "malformed payload: {m}"),
+            ProtoError::Io(m) => write!(f, "transport i/o error: {m}"),
+            ProtoError::Poisoned => write!(f, "transport lock poisoned"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ProtoError::Truncated
+        } else {
+            ProtoError::Io(e.to_string())
+        }
+    }
+}

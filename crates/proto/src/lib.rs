@@ -4,13 +4,24 @@
 //! with link models, and the OT-based non-linear layers (ReLU, DReLU,
 //! max pooling, truncation) of CrypTFlow2's SCI module, evaluated
 //! functionally on shares with a faithful cost model.
+//!
+//! The [`wire`] module defines the typed, versioned message set the
+//! client and server exchange; [`transport`] provides in-process
+//! ([`MemTransport`]) and TCP ([`TcpTransport`]) implementations that
+//! both move serialized frames, so accounting reflects real wire bytes.
 
 #![warn(missing_docs)]
 
 pub mod channel;
 pub mod cost;
+pub mod error;
 pub mod relu;
 pub mod share;
+pub mod transport;
+pub mod wire;
 
 pub use channel::{Channel, LinkModel};
+pub use error::ProtoError;
 pub use share::{reconstruct, share, Party, ShareVec};
+pub use transport::{MemTransport, TcpTransport, Transport, TransportStats};
+pub use wire::{ConvSetup, WireMessage};

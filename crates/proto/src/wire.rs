@@ -1,0 +1,511 @@
+//! Typed wire messages with length-prefixed, versioned framing.
+//!
+//! Every client↔server exchange is one of the [`WireMessage`] variants
+//! below, serialized as a frame:
+//!
+//! ```text
+//! [version u8][tag u8][len u32 LE][payload: len bytes]
+//! ```
+//!
+//! HE objects (ciphertexts, keys) travel as opaque byte blobs produced
+//! by `spot-he`'s serializers — this crate never interprets them, so the
+//! protocol layer stays independent of the HE backend. Decoding never
+//! panics: malformed input yields a [`ProtoError`].
+
+use crate::error::ProtoError;
+use std::io::Read;
+
+/// Wire protocol version carried in every frame header.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Frame header size: version byte, tag byte, length u32.
+pub const FRAME_HEADER_BYTES: usize = 6;
+
+/// Upper bound on a frame payload (defensive cap, 256 MiB).
+pub const MAX_FRAME: usize = 1 << 28;
+
+/// Scheme/geometry hello sent by the client before a convolution layer.
+///
+/// Flat integer fields only, so the protocol crate needs no knowledge
+/// of `spot-core` types; the receiving session layer re-derives its
+/// typed configuration from these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSetup {
+    /// Scheme discriminant (0 = channel-wise, 1 = Cheetah, 2 = SPOT).
+    pub scheme: u8,
+    /// Convolution mode discriminant (scheme-specific; SPOT: 0 =
+    /// vanilla patching, 1 = overlap-tweaked).
+    pub mode: u8,
+    /// HE parameter level discriminant (log2(N) - 11, i.e. 0 = N2048).
+    pub level: u8,
+    /// Input height.
+    pub h: u32,
+    /// Input width.
+    pub w: u32,
+    /// Input channels.
+    pub c_in: u32,
+    /// Output channels.
+    pub c_out: u32,
+    /// Kernel height.
+    pub k_h: u32,
+    /// Kernel width.
+    pub k_w: u32,
+    /// Convolution stride.
+    pub stride: u32,
+    /// Patch height (SPOT; 0 when unused).
+    pub patch_h: u32,
+    /// Patch width (SPOT; 0 when unused).
+    pub patch_w: u32,
+}
+
+impl ConvSetup {
+    const BYTES: usize = 4 + 9 * 4;
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::BYTES);
+        out.push(self.scheme);
+        out.push(self.mode);
+        out.push(self.level);
+        out.push(0); // reserved
+        for v in [
+            self.h,
+            self.w,
+            self.c_in,
+            self.c_out,
+            self.k_h,
+            self.k_w,
+            self.stride,
+            self.patch_h,
+            self.patch_w,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out
+    }
+
+    fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
+        if payload.len() != Self::BYTES {
+            return Err(ProtoError::Truncated);
+        }
+        let mut words = [0u32; 9];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = read_u32(payload, 4 + 4 * i)?;
+        }
+        Ok(Self {
+            scheme: payload[0],
+            mode: payload[1],
+            level: payload[2],
+            h: words[0],
+            w: words[1],
+            c_in: words[2],
+            c_out: words[3],
+            k_h: words[4],
+            k_w: words[5],
+            stride: words[6],
+            patch_h: words[7],
+            patch_w: words[8],
+        })
+    }
+}
+
+/// One protocol message. Byte blobs are HE objects serialized by
+/// `spot-he`; sequence numbers order ciphertexts within a layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMessage {
+    /// Layer hello: scheme + geometry the server should prepare for.
+    Setup(ConvSetup),
+    /// Serialized BFV public key (client → server; optional).
+    PublicKey(Vec<u8>),
+    /// Serialized Galois rotation keys (client → server).
+    GaloisKeys(Vec<u8>),
+    /// A packed input ciphertext (client → server).
+    PackedCt {
+        /// Upload sequence number within the layer.
+        seq: u32,
+        /// Serialized ciphertext.
+        blob: Vec<u8>,
+    },
+    /// An auxiliary/seam ciphertext belonging to a patch class ≥ 1
+    /// (SPOT structure patching; client → server).
+    AuxCt {
+        /// Patch class index (1-based; class 0 rides in `PackedCt`).
+        class: u16,
+        /// Upload sequence number within the layer.
+        seq: u32,
+        /// Serialized ciphertext.
+        blob: Vec<u8>,
+    },
+    /// A masked result ciphertext (server → client): the client's
+    /// additive share, still encrypted.
+    MaskedResult {
+        /// Result sequence number within the layer.
+        seq: u32,
+        /// Serialized ciphertext.
+        blob: Vec<u8>,
+    },
+    /// One round of an interactive OT-based non-linear protocol
+    /// (ReLU / max-pool share exchange).
+    OtRound {
+        /// Operation discriminant (0 = ReLU, 1 = 2×2 max-pool).
+        op: u8,
+        /// Round number within the operation.
+        round: u16,
+        /// Round payload (share values, u32 LE each).
+        blob: Vec<u8>,
+    },
+    /// Reveal a share vector to the peer (layer-boundary
+    /// reconstruction; payload is u32 LE share values).
+    ShareReveal {
+        /// Share values, u32 LE each.
+        blob: Vec<u8>,
+    },
+    /// Marks the end of one network layer's traffic.
+    LayerBarrier {
+        /// Layer index.
+        layer: u32,
+    },
+    /// Clean end of session.
+    Teardown,
+}
+
+impl WireMessage {
+    fn tag(&self) -> u8 {
+        match self {
+            WireMessage::Setup(_) => 0,
+            WireMessage::PublicKey(_) => 1,
+            WireMessage::GaloisKeys(_) => 2,
+            WireMessage::PackedCt { .. } => 3,
+            WireMessage::AuxCt { .. } => 4,
+            WireMessage::MaskedResult { .. } => 5,
+            WireMessage::OtRound { .. } => 6,
+            WireMessage::ShareReveal { .. } => 7,
+            WireMessage::LayerBarrier { .. } => 8,
+            WireMessage::Teardown => 9,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        match self {
+            WireMessage::Setup(s) => s.encode(),
+            WireMessage::PublicKey(blob) | WireMessage::GaloisKeys(blob) => blob.clone(),
+            WireMessage::PackedCt { seq, blob } => {
+                let mut p = Vec::with_capacity(4 + blob.len());
+                p.extend_from_slice(&seq.to_le_bytes());
+                p.extend_from_slice(blob);
+                p
+            }
+            WireMessage::AuxCt { class, seq, blob } => {
+                let mut p = Vec::with_capacity(6 + blob.len());
+                p.extend_from_slice(&class.to_le_bytes());
+                p.extend_from_slice(&seq.to_le_bytes());
+                p.extend_from_slice(blob);
+                p
+            }
+            WireMessage::MaskedResult { seq, blob } => {
+                let mut p = Vec::with_capacity(4 + blob.len());
+                p.extend_from_slice(&seq.to_le_bytes());
+                p.extend_from_slice(blob);
+                p
+            }
+            WireMessage::OtRound { op, round, blob } => {
+                let mut p = Vec::with_capacity(3 + blob.len());
+                p.push(*op);
+                p.extend_from_slice(&round.to_le_bytes());
+                p.extend_from_slice(blob);
+                p
+            }
+            WireMessage::ShareReveal { blob } => blob.clone(),
+            WireMessage::LayerBarrier { layer } => layer.to_le_bytes().to_vec(),
+            WireMessage::Teardown => Vec::new(),
+        }
+    }
+
+    fn from_tag_payload(tag: u8, payload: &[u8]) -> Result<Self, ProtoError> {
+        Ok(match tag {
+            0 => WireMessage::Setup(ConvSetup::decode(payload)?),
+            1 => WireMessage::PublicKey(payload.to_vec()),
+            2 => WireMessage::GaloisKeys(payload.to_vec()),
+            3 => WireMessage::PackedCt {
+                seq: read_u32(payload, 0)?,
+                blob: tail(payload, 4)?,
+            },
+            4 => WireMessage::AuxCt {
+                class: read_u16(payload, 0)?,
+                seq: read_u32(payload, 2)?,
+                blob: tail(payload, 6)?,
+            },
+            5 => WireMessage::MaskedResult {
+                seq: read_u32(payload, 0)?,
+                blob: tail(payload, 4)?,
+            },
+            6 => WireMessage::OtRound {
+                op: *payload.first().ok_or(ProtoError::Truncated)?,
+                round: read_u16(payload, 1)?,
+                blob: tail(payload, 3)?,
+            },
+            7 => WireMessage::ShareReveal {
+                blob: payload.to_vec(),
+            },
+            8 => WireMessage::LayerBarrier {
+                layer: read_u32(payload, 0)?,
+            },
+            9 => {
+                if !payload.is_empty() {
+                    return Err(ProtoError::Malformed("teardown carries payload".into()));
+                }
+                WireMessage::Teardown
+            }
+            t => return Err(ProtoError::BadTag(t)),
+        })
+    }
+
+    /// Serializes the message as one framed byte vector.
+    pub fn encode_frame(&self) -> Vec<u8> {
+        let payload = self.payload();
+        let mut out = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+        out.push(WIRE_VERSION);
+        out.push(self.tag());
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Serialized frame size (header + payload) without materialising
+    /// the frame.
+    pub fn frame_len(&self) -> usize {
+        FRAME_HEADER_BYTES + self.payload().len()
+    }
+
+    /// Decodes one frame from the front of `bytes`, returning the
+    /// message and the number of bytes consumed.
+    pub fn decode_frame(bytes: &[u8]) -> Result<(Self, usize), ProtoError> {
+        if bytes.len() < FRAME_HEADER_BYTES {
+            return Err(ProtoError::Truncated);
+        }
+        if bytes[0] != WIRE_VERSION {
+            return Err(ProtoError::BadVersion(bytes[0]));
+        }
+        let tag = bytes[1];
+        let len = read_u32(bytes, 2)? as usize;
+        if len > MAX_FRAME {
+            return Err(ProtoError::TooLarge(len));
+        }
+        let end = FRAME_HEADER_BYTES + len;
+        if bytes.len() < end {
+            return Err(ProtoError::Truncated);
+        }
+        let msg = Self::from_tag_payload(tag, &bytes[FRAME_HEADER_BYTES..end])?;
+        Ok((msg, end))
+    }
+
+    /// Reads exactly one frame from a byte stream.
+    ///
+    /// A clean EOF before the first header byte yields
+    /// [`ProtoError::Closed`]; EOF mid-frame yields
+    /// [`ProtoError::Truncated`].
+    pub fn read_from<R: Read>(reader: &mut R) -> Result<Self, ProtoError> {
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        let mut got = 0usize;
+        while got < header.len() {
+            match reader.read(&mut header[got..]) {
+                Ok(0) => {
+                    return Err(if got == 0 {
+                        ProtoError::Closed
+                    } else {
+                        ProtoError::Truncated
+                    })
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        if header[0] != WIRE_VERSION {
+            return Err(ProtoError::BadVersion(header[0]));
+        }
+        let tag = header[1];
+        let len = u32::from_le_bytes([header[2], header[3], header[4], header[5]]) as usize;
+        if len > MAX_FRAME {
+            return Err(ProtoError::TooLarge(len));
+        }
+        let mut payload = vec![0u8; len];
+        reader.read_exact(&mut payload)?;
+        Self::from_tag_payload(tag, &payload)
+    }
+}
+
+/// Packs field elements (each `< 2^32`) as u32 LE for OT-round and
+/// share-reveal payloads.
+///
+/// # Panics
+///
+/// Panics if a value does not fit in 32 bits (the plaintext modulus is
+/// far below that in every parameter level).
+pub fn pack_share_values(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 4);
+    for &v in values {
+        assert!(v < (1u64 << 32), "share value exceeds u32 range");
+        out.extend_from_slice(&(v as u32).to_le_bytes());
+    }
+    out
+}
+
+/// Inverse of [`pack_share_values`].
+pub fn unpack_share_values(bytes: &[u8]) -> Result<Vec<u64>, ProtoError> {
+    if !bytes.len().is_multiple_of(4) {
+        return Err(ProtoError::Truncated);
+    }
+    Ok(bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]) as u64)
+        .collect())
+}
+
+fn read_u32(bytes: &[u8], off: usize) -> Result<u32, ProtoError> {
+    let s = bytes.get(off..off + 4).ok_or(ProtoError::Truncated)?;
+    Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+}
+
+fn read_u16(bytes: &[u8], off: usize) -> Result<u16, ProtoError> {
+    let s = bytes.get(off..off + 2).ok_or(ProtoError::Truncated)?;
+    Ok(u16::from_le_bytes([s[0], s[1]]))
+}
+
+fn tail(bytes: &[u8], off: usize) -> Result<Vec<u8>, ProtoError> {
+    Ok(bytes.get(off..).ok_or(ProtoError::Truncated)?.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<WireMessage> {
+        vec![
+            WireMessage::Setup(ConvSetup {
+                scheme: 2,
+                mode: 1,
+                level: 1,
+                h: 8,
+                w: 8,
+                c_in: 2,
+                c_out: 4,
+                k_h: 3,
+                k_w: 3,
+                stride: 1,
+                patch_h: 4,
+                patch_w: 4,
+            }),
+            WireMessage::PublicKey(vec![1, 2, 3]),
+            WireMessage::GaloisKeys(vec![9; 100]),
+            WireMessage::PackedCt {
+                seq: 7,
+                blob: vec![0xAB; 33],
+            },
+            WireMessage::AuxCt {
+                class: 2,
+                seq: 11,
+                blob: vec![0xCD; 5],
+            },
+            WireMessage::MaskedResult {
+                seq: 3,
+                blob: vec![0xEF; 8],
+            },
+            WireMessage::OtRound {
+                op: 1,
+                round: 4,
+                blob: pack_share_values(&[0, 1, 1_032_192]),
+            },
+            WireMessage::ShareReveal {
+                blob: pack_share_values(&[42, 43]),
+            },
+            WireMessage::LayerBarrier { layer: 2 },
+            WireMessage::Teardown,
+        ]
+    }
+
+    #[test]
+    fn frame_roundtrip_all_variants() {
+        for msg in samples() {
+            let frame = msg.encode_frame();
+            assert_eq!(frame.len(), msg.frame_len());
+            let (back, used) = WireMessage::decode_frame(&frame).unwrap();
+            assert_eq!(used, frame.len());
+            assert_eq!(back, msg);
+            // and through the stream reader
+            let mut cursor = std::io::Cursor::new(frame);
+            assert_eq!(WireMessage::read_from(&mut cursor).unwrap(), msg);
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_consume_exactly() {
+        let mut buf = Vec::new();
+        for msg in samples() {
+            buf.extend_from_slice(&msg.encode_frame());
+        }
+        let mut off = 0;
+        let mut seen = Vec::new();
+        while off < buf.len() {
+            let (msg, used) = WireMessage::decode_frame(&buf[off..]).unwrap();
+            off += used;
+            seen.push(msg);
+        }
+        assert_eq!(seen, samples());
+    }
+
+    #[test]
+    fn rejects_bad_version_and_tag() {
+        let mut frame = WireMessage::Teardown.encode_frame();
+        frame[0] = 99;
+        assert_eq!(
+            WireMessage::decode_frame(&frame),
+            Err(ProtoError::BadVersion(99))
+        );
+        let mut frame = WireMessage::Teardown.encode_frame();
+        frame[1] = 200;
+        assert_eq!(
+            WireMessage::decode_frame(&frame),
+            Err(ProtoError::BadTag(200))
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_and_oversize_without_panicking() {
+        let frame = WireMessage::PackedCt {
+            seq: 1,
+            blob: vec![7; 20],
+        }
+        .encode_frame();
+        for cut in 0..frame.len() {
+            assert!(WireMessage::decode_frame(&frame[..cut]).is_err());
+        }
+        let mut huge = WireMessage::Teardown.encode_frame();
+        huge[2..6].copy_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        assert_eq!(
+            WireMessage::decode_frame(&huge),
+            Err(ProtoError::TooLarge(MAX_FRAME + 1))
+        );
+    }
+
+    #[test]
+    fn eof_is_closed_only_between_frames() {
+        let mut empty = std::io::Cursor::new(Vec::<u8>::new());
+        assert_eq!(WireMessage::read_from(&mut empty), Err(ProtoError::Closed));
+        let frame = WireMessage::LayerBarrier { layer: 1 }.encode_frame();
+        let mut partial = std::io::Cursor::new(frame[..4].to_vec());
+        assert_eq!(
+            WireMessage::read_from(&mut partial),
+            Err(ProtoError::Truncated)
+        );
+    }
+
+    #[test]
+    fn share_value_packing_roundtrip() {
+        let vals = vec![0u64, 1, 500_000, u32::MAX as u64];
+        assert_eq!(
+            unpack_share_values(&pack_share_values(&vals)).unwrap(),
+            vals
+        );
+        assert!(unpack_share_values(&[1, 2, 3]).is_err());
+    }
+}
