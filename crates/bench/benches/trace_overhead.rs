@@ -1,0 +1,55 @@
+//! Overhead of the `spot-trace` layer at instrumentation sites.
+//!
+//! The disabled path (tracing off, the default) must stay in the
+//! low-single-nanosecond range — one relaxed atomic load and a branch —
+//! because every HE op, pool take, and wire frame crosses it. The
+//! enabled path is measured for reference (it allocates nothing for
+//! static labels but does write thread-local event records).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spot_trace::{count, span, Cat, Counter};
+
+fn bench_disabled(c: &mut Criterion) {
+    spot_trace::disable();
+    spot_trace::reset();
+    let mut group = c.benchmark_group("trace/disabled");
+    group.bench_function("span", |b| {
+        b.iter(|| {
+            let s = span(Cat::He, black_box("bench"));
+            black_box(&s);
+        })
+    });
+    group.bench_function("span_owned", |b| {
+        b.iter(|| {
+            let s = spot_trace::span_owned(Cat::He, || format!("bench {}", black_box(1)));
+            black_box(&s);
+        })
+    });
+    group.bench_function("count", |b| {
+        b.iter(|| count(black_box(Counter::NttFwd), black_box(1)))
+    });
+    group.bench_function("instant", |b| {
+        b.iter(|| spot_trace::instant(Cat::He, black_box("bench")))
+    });
+    group.finish();
+}
+
+fn bench_enabled(c: &mut Criterion) {
+    spot_trace::enable();
+    let mut group = c.benchmark_group("trace/enabled");
+    group.bench_function("span", |b| {
+        b.iter(|| {
+            let s = span(Cat::He, black_box("bench"));
+            black_box(&s);
+        })
+    });
+    group.bench_function("count", |b| {
+        b.iter(|| count(black_box(Counter::NttFwd), black_box(1)))
+    });
+    group.finish();
+    spot_trace::disable();
+    spot_trace::reset();
+}
+
+criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! spot-client [--connect 127.0.0.1:7341] [--scheme spot|channelwise|cheetah]
-//!             [--seed S] [--link lan|wlan]
+//!             [--seed S] [--link lan|wlan] [--trace out.json]
 //! ```
 //!
 //! Prints `output vs plain: MATCH` / `output vs reference: MATCH` on
@@ -105,6 +105,10 @@ fn main() {
         "wlan" => LinkModel::wlan(),
         _ => LinkModel::lan(),
     };
+    let trace_path = arg_value(&args, "--trace");
+    let trace_baseline = trace_path
+        .as_ref()
+        .map(|_| spot_bench::traceio::trace_begin());
 
     let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
     let cnn = TinyCnn::new(7);
@@ -152,29 +156,44 @@ fn main() {
         "traffic vs reference: {}",
         if traffic_ok { "MATCH" } else { "MISMATCH" }
     );
+    let rows = |st: &TransportStats| {
+        [
+            TransferRow {
+                direction: "client -> server".into(),
+                bytes: st.sent.bytes,
+                messages: st.sent.messages,
+                measured_s: 0.0,
+                send_blocked_s: st.send_blocked.as_secs_f64(),
+                modeled_s: link.transfer_time(st.sent.bytes as usize),
+            },
+            TransferRow {
+                direction: "server -> client".into(),
+                bytes: st.received.bytes,
+                messages: st.received.messages,
+                measured_s: 0.0,
+                send_blocked_s: 0.0,
+                modeled_s: link.transfer_time(st.received.bytes as usize),
+            },
+        ]
+    };
     println!(
         "{}",
         transfer_table(
-            "Client-side wire traffic (measured vs link model)",
-            &[
-                TransferRow {
-                    direction: "client -> server".into(),
-                    bytes: stats.sent.bytes,
-                    messages: stats.sent.messages,
-                    measured_s: stats.send_blocked.as_secs_f64(),
-                    modeled_s: link.transfer_time(stats.sent.bytes as usize),
-                },
-                TransferRow {
-                    direction: "server -> client".into(),
-                    bytes: stats.received.bytes,
-                    messages: stats.received.messages,
-                    measured_s: 0.0,
-                    modeled_s: link.transfer_time(stats.received.bytes as usize),
-                },
-            ]
+            "Client-side wire traffic, MemTransport reference (measured vs link model)",
+            &rows(&ref_stats)
+        )
+    );
+    println!(
+        "{}",
+        transfer_table(
+            "Client-side wire traffic, TCP (measured vs link model)",
+            &rows(&stats)
         )
     );
     println!("spot-client: end-to-end wall {wall:.3}s over TCP");
+    if let (Some(path), Some(baseline)) = (&trace_path, &trace_baseline) {
+        spot_bench::traceio::trace_finish(std::path::Path::new(path), baseline);
+    }
     if !(plain_ok && ref_ok && traffic_ok) {
         std::process::exit(1);
     }

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! spot-server [--listen 127.0.0.1:7341] [--backend streaming|phased]
-//!             [--threads N] [--capacity N] [--seed S]
+//!             [--threads N] [--capacity N] [--seed S] [--trace out.json]
 //! ```
 
 use rand::rngs::StdRng;
@@ -42,6 +42,10 @@ fn main() {
     let seed: u64 = arg_value(&args, "--seed")
         .map(|v| v.parse().expect("--seed takes a number"))
         .unwrap_or(1312);
+    let trace_path = arg_value(&args, "--trace");
+    let trace_baseline = trace_path
+        .as_ref()
+        .map(|_| spot_bench::traceio::trace_begin());
     let backend = match backend_name.as_str() {
         "phased" => ExecBackend::Phased(Executor::new(threads)),
         "streaming" => ExecBackend::Streaming(StreamConfig::new(Executor::new(threads), capacity)),
@@ -88,16 +92,21 @@ fn main() {
                     bytes: stats.received.bytes,
                     messages: stats.received.messages,
                     measured_s: 0.0,
+                    send_blocked_s: 0.0,
                     modeled_s: link.transfer_time(stats.received.bytes as usize),
                 },
                 TransferRow {
                     direction: "server -> client".into(),
                     bytes: stats.sent.bytes,
                     messages: stats.sent.messages,
-                    measured_s: stats.send_blocked.as_secs_f64(),
+                    measured_s: 0.0,
+                    send_blocked_s: stats.send_blocked.as_secs_f64(),
                     modeled_s: link.transfer_time(stats.sent.bytes as usize),
                 },
             ]
         )
     );
+    if let (Some(path), Some(baseline)) = (&trace_path, &trace_baseline) {
+        spot_bench::traceio::trace_finish(std::path::Path::new(path), baseline);
+    }
 }

@@ -2,8 +2,15 @@
 //! real streaming runtime (`spot-core::stream`) on a scaled-down
 //! Table-I-class layer with a single-thread server and a 2-ciphertext
 //! client budget, then dumps the measured stall table, a Gantt-style
-//! event trace per scheme, and the spot-he buffer pool's steady-state
-//! allocation counters.
+//! span trace per scheme (from the `spot-trace` layer), and the
+//! spot-he buffer pool's steady-state allocation counters.
+//!
+//! ```text
+//! stream-timeline [--trace out.json]
+//! ```
+//!
+//! With `--trace` the full run (all three schemes) is also exported as
+//! Chrome-trace JSON loadable in Perfetto / `chrome://tracing`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -15,10 +22,22 @@ use spot_he::pool;
 use spot_he::prelude::*;
 use spot_pipeline::report::stall_table;
 use spot_tensor::tensor::{Kernel, Tensor};
+use spot_trace::{Cat, Event, Phase};
 
 const MAX_EVENTS: usize = 48;
 
-fn dump_gantt(scheme: Scheme, stats: &StreamStats) {
+/// Lane label for a recorded thread id: the thread's trace label when
+/// it set one (`client`, `server-0`, ...), else the session thread
+/// that runs result assembly.
+fn lane_of(threads: &[(u32, String)], tid: u32) -> &str {
+    threads
+        .iter()
+        .find(|(t, _)| *t == tid)
+        .map(|(_, n)| n.as_str())
+        .unwrap_or("assemble")
+}
+
+fn dump_gantt(scheme: Scheme, stats: &StreamStats, events: &[Event], threads: &[(u32, String)]) {
     println!(
         "--- {} timeline ({} in cts, {} out cts, wall {:.3}s) ---",
         scheme.name(),
@@ -26,29 +45,48 @@ fn dump_gantt(scheme: Scheme, stats: &StreamStats) {
         stats.output_items,
         stats.wall_s
     );
-    for ev in stats.events.iter().take(MAX_EVENTS) {
-        let indent = match ev.lane.as_str() {
-            "client" => 0,
-            "assemble" => 48,
-            _ => 24, // server-<w>
+    // Pipeline-level spans only: the per-frame Net spans and HE counters
+    // would drown the Gantt view (they stay in the JSON export).
+    let spans: Vec<&Event> = events
+        .iter()
+        .filter(|e| matches!(e.phase, Phase::Span { .. }))
+        .filter(|e| matches!(e.cat, Cat::Client | Cat::Stream))
+        .collect();
+    let t0 = spans.iter().map(|e| e.ts_ns).min().unwrap_or(0);
+    for ev in spans.iter().take(MAX_EVENTS) {
+        let lane = lane_of(threads, ev.tid);
+        let indent = if lane == "client" {
+            0
+        } else if lane.starts_with("server-") {
+            24
+        } else {
+            48
         };
         println!(
             "{:>8.3}s {:>8.3}s {:indent$}{} [{}]",
-            ev.start_s,
-            ev.end_s,
+            (ev.ts_ns - t0) as f64 / 1e9,
+            (ev.end_ns() - t0) as f64 / 1e9,
             "",
-            ev.label,
-            ev.lane,
+            ev.name.as_str(),
+            lane,
             indent = indent
         );
     }
-    if stats.events.len() > MAX_EVENTS {
-        println!("... ({} more events)", stats.events.len() - MAX_EVENTS);
+    if spans.len() > MAX_EVENTS {
+        println!("... ({} more events)", spans.len() - MAX_EVENTS);
     }
     println!();
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let trace_baseline = spot_bench::traceio::trace_begin();
+
     let ctx = spot_he::context::Context::new(EncryptionParams::new(ParamLevel::N4096));
     let mut keyrng = StdRng::seed_from_u64(5150);
     let keygen = KeyGenerator::new(&ctx, &mut keyrng);
@@ -64,7 +102,9 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut timelines = Vec::new();
+    let mut all_events: Vec<Event> = Vec::new();
     for scheme in Scheme::ALL {
+        let _ = spot_trace::take_events(); // clear any setup noise
         let mut rng = StdRng::seed_from_u64(7000);
         let (_, stats) = run_conv_backend(
             &ctx,
@@ -80,8 +120,11 @@ fn main() {
         );
         let stats = stats.expect("streaming backend reports stats");
         rows.push(stats.stall_row(scheme.name()));
-        timelines.push((scheme, stats));
+        let events = spot_trace::take_events();
+        all_events.extend(events.iter().cloned());
+        timelines.push((scheme, stats, events));
     }
+    let threads = spot_trace::thread_names();
     println!(
         "{}",
         stall_table("Measured stall accounting (single-thread server)", &rows)
@@ -92,8 +135,8 @@ fn main() {
          lands (\"server idle\" = the paper's linear computation stall).\n"
     );
 
-    for (scheme, stats) in &timelines {
-        dump_gantt(*scheme, stats);
+    for (scheme, stats, events) in &timelines {
+        dump_gantt(*scheme, stats, events, &threads);
     }
 
     // Buffer-pool steady state: the same serial phased layer twice on
@@ -150,4 +193,17 @@ fn main() {
         cold.fresh as f64 / (warm.fresh.max(1)) as f64,
         100.0 * warm.reused as f64 / warm.takes().max(1) as f64
     );
+
+    if let Some(path) = &trace_path {
+        // Re-seed the sink with everything drained per scheme (plus the
+        // pool exercise above) so the export covers the whole run.
+        let pool_events = spot_trace::take_events();
+        all_events.extend(pool_events);
+        let json = spot_trace::chrome::chrome_trace_json_with_threads(&all_events, &threads);
+        spot_trace::json::validate(&json).expect("trace export is valid JSON");
+        std::fs::write(path, &json).expect("write trace file");
+        let delta = spot_trace::counters().delta(&trace_baseline);
+        println!("trace: {} events, JSON OK -> {path}", all_events.len());
+        println!("{}", spot_trace::summary::text_summary(&all_events, &delta));
+    }
 }

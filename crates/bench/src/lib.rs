@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod traceio;
 pub mod workloads;
 
 pub use calibrate::calibrate_he_costs;

@@ -1,0 +1,43 @@
+//! `--trace <path>` support shared by the demo binaries: drain the
+//! process-wide [`spot_trace`] sink into a Chrome-trace JSON file
+//! (loadable in Perfetto / `chrome://tracing`) and print the text
+//! summary of spans and counters.
+
+use spot_trace::CounterSnapshot;
+use std::io::Write;
+use std::path::Path;
+
+/// Enables tracing and returns the counter baseline to delta against
+/// at dump time. Call once at startup when `--trace` is given.
+pub fn trace_begin() -> CounterSnapshot {
+    spot_trace::enable();
+    spot_trace::counters()
+}
+
+/// Drains every recorded event, exports Chrome-trace JSON to `path`
+/// (validated before writing), and prints the span/counter text
+/// summary. Returns the number of events written.
+///
+/// Panics if the export fails JSON validation or the file cannot be
+/// written — a trace the user asked for must not vanish silently.
+pub fn trace_finish(path: &Path, baseline: &CounterSnapshot) -> usize {
+    let events = spot_trace::take_events();
+    let threads = spot_trace::thread_names();
+    let delta = spot_trace::counters().delta(baseline);
+    let json = spot_trace::chrome::chrome_trace_json_with_threads(&events, &threads);
+    if let Err(e) = spot_trace::json::validate(&json) {
+        panic!("trace export produced invalid JSON: {e}");
+    }
+    let mut f = std::fs::File::create(path)
+        .unwrap_or_else(|e| panic!("cannot create trace file {}: {e}", path.display()));
+    f.write_all(json.as_bytes())
+        .and_then(|()| f.flush())
+        .unwrap_or_else(|e| panic!("cannot write trace file {}: {e}", path.display()));
+    println!(
+        "trace: {} events, JSON OK -> {}",
+        events.len(),
+        path.display()
+    );
+    println!("{}", spot_trace::summary::text_summary(&events, &delta));
+    events.len()
+}

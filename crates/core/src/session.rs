@@ -50,6 +50,7 @@ use spot_proto::channel::TrafficStats;
 use spot_proto::{ConvSetup, MemTransport, Transport, WireMessage};
 use spot_tensor::models::ConvShape;
 use spot_tensor::tensor::{Kernel, Tensor};
+use spot_trace::Cat;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -86,6 +87,15 @@ impl SchemeKind {
             1 => Ok(SchemeKind::Cheetah),
             2 => Ok(SchemeKind::Spot),
             other => Err(SpotError::Protocol(format!("unknown scheme code {other}"))),
+        }
+    }
+
+    /// Human-readable name (used for trace span labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Channelwise => "channelwise",
+            SchemeKind::Cheetah => "cheetah",
+            SchemeKind::Spot => "spot",
         }
     }
 }
@@ -551,6 +561,10 @@ impl<'a> ClientConv<'a> {
         pacing: UploadPacing,
         rng: &mut R,
     ) -> Result<ClientSendSummary, SpotError> {
+        let _span = spot_trace::span_owned(Cat::Session, || {
+            format!("send_all {}", self.spec.scheme.name())
+        })
+        .arg("input_cts", self.input_cts() as u64);
         let shape = &self.spec.shape;
         if input.channels() != shape.c_in
             || input.height() != shape.height
@@ -682,6 +696,10 @@ impl<'a> ClientConv<'a> {
     /// socket transport.
     pub fn absorb_all(&self, transport: &dyn Transport) -> Result<ClientShare, SpotError> {
         let expected = self.output_cts();
+        let _span = spot_trace::span_owned(Cat::Session, || {
+            format!("absorb_all {}", self.spec.scheme.name())
+        })
+        .arg("output_cts", expected as u64);
         let decryptor = Decryptor::new(&self.ctx, self.keygen.secret_key().clone());
         let t = self.ctx.params().plain_modulus();
         let coeff_encoded = matches!(self.detail, PlanDetail::Cheetah { .. });
@@ -849,6 +867,9 @@ pub fn serve_conv<R: Rng>(
         return Err(unexpected(&msg, "Setup"));
     };
     let (spec, level) = LayerSpec::from_setup(&setup)?;
+    let _span = spot_trace::span_owned(Cat::Session, || {
+        format!("serve_conv {}", spec.scheme.name())
+    });
     if level != ctx.params().level() {
         return Err(SpotError::Protocol(format!(
             "client level {level} does not match server context {}",

@@ -38,11 +38,14 @@
 //!
 //! Every stage is timed against a common origin: client active/blocked
 //! time, per-worker busy and idle (blocked on [`BoundedQueue::recv`]
-//! while the stream is open) in thread-seconds, plus a Gantt-style
-//! [`StreamEvent`] trace for the `stream_timeline` bench binary.
+//! while the stream is open) in thread-seconds.
 //! [`StreamStats::stall_row`] converts a run into the
 //! [`spot_pipeline::report::StallRow`] rendered by
-//! [`spot_pipeline::report::stall_table`].
+//! [`spot_pipeline::report::stall_table`]. When `spot_trace` is
+//! enabled, every stage additionally records spans (`enc #i`,
+//! `conv #i`, `idle`, `out #i`) and queue counters/gauges into the
+//! unified trace, which is what the `stream_timeline` binary and the
+//! `--trace` flags export.
 
 use crate::error::SpotError;
 use crate::executor::Executor;
@@ -50,14 +53,11 @@ use crossbeam::thread;
 use spot_he::pool;
 use spot_pipeline::device::DeviceProfile;
 use spot_pipeline::report::StallRow;
+use spot_trace::{count, gauge, Cat, Counter};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
-
-/// Events shorter than this are dropped from the timeline trace (they
-/// would render as zero-width Gantt slivers).
-const EVENT_EPS: Duration = Duration::from_micros(20);
 
 // ---------------------------------------------------------------------
 // Bounded MPMC queue
@@ -131,8 +131,12 @@ impl<T> BoundedQueue<T> {
             return Err(SpotError::Disconnected("send on closed stream queue"));
         }
         st.items.push_back(item);
+        let depth = st.items.len() as u64;
         drop(st);
         self.can_recv.notify_one();
+        count(Counter::QueuePushed, 1);
+        count(Counter::QueueBlockedNs, blocked.as_nanos() as u64);
+        gauge(Cat::Stream, "queue_depth", depth);
         Ok(blocked)
     }
 
@@ -147,8 +151,11 @@ impl<T> BoundedQueue<T> {
             .map_err(|_| SpotError::Poisoned("stream queue"))?;
         loop {
             if let Some(item) = st.items.pop_front() {
+                let depth = st.items.len() as u64;
                 drop(st);
                 self.can_send.notify_one();
+                count(Counter::QueuePopped, 1);
+                gauge(Cat::Stream, "queue_depth", depth);
                 return Ok((Some(item), blocked));
             }
             if st.closed {
@@ -205,19 +212,6 @@ impl StreamConfig {
     }
 }
 
-/// One timed span in a streamed execution, for Gantt-style rendering.
-#[derive(Debug, Clone, PartialEq)]
-pub struct StreamEvent {
-    /// Timeline lane (`client`, `server-0`…, `assemble`).
-    pub lane: String,
-    /// What happened (`enc #3`, `conv #3`, `idle`, `out #0`).
-    pub label: String,
-    /// Span start, seconds from stream origin.
-    pub start_s: f64,
-    /// Span end, seconds from stream origin.
-    pub end_s: f64,
-}
-
 /// Measured wall-clock accounting for one streamed execution.
 ///
 /// `server_busy_s`/`server_idle_s` are thread-seconds summed over the
@@ -244,16 +238,13 @@ pub struct StreamStats {
     pub channel_capacity: usize,
     /// Server worker count.
     pub server_threads: usize,
-    /// Gantt trace (empty spans below 20 µs are dropped).
-    pub events: Vec<StreamEvent>,
 }
 
 impl StreamStats {
-    /// Folds another layer's stats into this one, shifting the incoming
-    /// events to start where this timeline currently ends (used when a
-    /// network streams layer after layer).
+    /// Folds another layer's stats into this one (used when a network
+    /// streams layer after layer). Timeline detail lives in the
+    /// `spot_trace` event stream, not here.
     pub fn accumulate(&mut self, other: &StreamStats) {
-        let shift = self.wall_s;
         self.wall_s += other.wall_s;
         self.client_s += other.client_s;
         self.client_blocked_s += other.client_blocked_s;
@@ -263,12 +254,6 @@ impl StreamStats {
         self.output_items += other.output_items;
         self.channel_capacity = self.channel_capacity.max(other.channel_capacity);
         self.server_threads = self.server_threads.max(other.server_threads);
-        self.events.extend(other.events.iter().map(|e| StreamEvent {
-            lane: e.lane.clone(),
-            label: e.label.clone(),
-            start_s: e.start_s + shift,
-            end_s: e.end_s + shift,
-        }));
     }
 
     /// Converts to the report row rendered by
@@ -289,24 +274,6 @@ impl StreamStats {
     }
 }
 
-fn event(
-    lane: &str,
-    label: impl Into<String>,
-    t0: Instant,
-    start: Instant,
-    end: Instant,
-) -> Option<StreamEvent> {
-    if end.duration_since(start) < EVENT_EPS {
-        return None;
-    }
-    Some(StreamEvent {
-        lane: lane.to_string(),
-        label: label.into(),
-        start_s: start.duration_since(t0).as_secs_f64(),
-        end_s: end.duration_since(t0).as_secs_f64(),
-    })
-}
-
 // ---------------------------------------------------------------------
 // Producer side
 // ---------------------------------------------------------------------
@@ -317,22 +284,20 @@ fn event(
 /// `client_blocked_s`.
 pub struct Feeder<'q, T> {
     queue: &'q BoundedQueue<(usize, T)>,
-    t0: Instant,
-    last: Instant,
     next_index: usize,
     blocked: Duration,
-    events: Vec<StreamEvent>,
+    // Open span covering production of item `next_index` (closed when
+    // that item is pushed). Inert while tracing is disabled.
+    enc_span: Option<spot_trace::Span>,
 }
 
 impl<'q, T> Feeder<'q, T> {
-    fn new(queue: &'q BoundedQueue<(usize, T)>, t0: Instant) -> Self {
+    fn new(queue: &'q BoundedQueue<(usize, T)>) -> Self {
         Self {
             queue,
-            t0,
-            last: Instant::now(),
             next_index: 0,
             blocked: Duration::ZERO,
-            events: Vec::new(),
+            enc_span: Some(spot_trace::span_owned(Cat::Client, || "enc #0".into())),
         }
     }
 
@@ -341,28 +306,20 @@ impl<'q, T> Feeder<'q, T> {
     /// underneath the producer (e.g. the server side died).
     pub fn push(&mut self, item: T) -> Result<(), SpotError> {
         let i = self.next_index;
-        let produced = Instant::now();
-        self.events.extend(event(
-            "client",
-            format!("enc #{i}"),
-            self.t0,
-            self.last,
-            produced,
-        ));
+        // Close the span covering this item's production.
+        self.enc_span.take();
+        let blocked_span = spot_trace::span(Cat::Client, "blocked (channel full)");
         let waited = self.queue.send((i, item))?;
         if waited > Duration::ZERO {
-            let now = Instant::now();
-            self.events.extend(event(
-                "client",
-                "blocked (channel full)",
-                self.t0,
-                produced,
-                now,
-            ));
+            drop(blocked_span);
+        } else {
+            blocked_span.cancel();
         }
         self.blocked += waited;
         self.next_index += 1;
-        self.last = Instant::now();
+        self.enc_span = Some(spot_trace::span_owned(Cat::Client, || {
+            format!("enc #{}", i + 1)
+        }));
         Ok(())
     }
 
@@ -373,7 +330,6 @@ impl<'q, T> Feeder<'q, T> {
 }
 
 struct ProducerOutcome {
-    events: Vec<StreamEvent>,
     blocked: Duration,
     pushed: usize,
     finished: Instant,
@@ -381,13 +337,13 @@ struct ProducerOutcome {
 
 fn run_producer<T, P>(
     queue: &BoundedQueue<(usize, T)>,
-    t0: Instant,
     channel_capacity: usize,
     producer: P,
 ) -> Result<ProducerOutcome, SpotError>
 where
     P: FnOnce(&mut Feeder<'_, T>) -> Result<(), SpotError>,
 {
+    spot_trace::set_thread_label("client");
     // Client memory model: a ciphertext is two residue polynomials, so a
     // budget of `channel_capacity` in-flight ciphertexts bounds the
     // producer's buffer pool at twice that — the debug assertion is the
@@ -396,18 +352,22 @@ where
     let prev_cap = pool::capacity();
     pool::set_capacity(2 * channel_capacity);
     debug_assert!(pool::capacity() <= 2 * channel_capacity);
-    let mut feeder = Feeder::new(queue, t0);
+    let mut feeder = Feeder::new(queue);
     let result = producer(&mut feeder);
+    // The span opened for a next item that will never be produced.
+    if let Some(open) = feeder.enc_span.take() {
+        open.cancel();
+    }
     // Close and restore the pool even on failure, so workers drain and
     // exit instead of blocking forever.
     queue.close();
     let outcome = ProducerOutcome {
-        events: std::mem::take(&mut feeder.events),
         blocked: feeder.blocked,
         pushed: feeder.next_index,
         finished: Instant::now(),
     };
     pool::set_capacity(prev_cap);
+    spot_trace::flush_thread();
     result.map(|()| outcome)
 }
 
@@ -456,28 +416,32 @@ where
         let work = &work;
 
         let producer_handle =
-            s.spawn(move |_| run_producer(in_q, t0, config.channel_capacity, producer));
+            s.spawn(move |_| run_producer(in_q, config.channel_capacity, producer));
 
         let server_handle = s.spawn(move |_| {
             let per_worker = config.executor.run_workers(workers, |w| {
-                let lane = format!("server-{w}");
+                spot_trace::set_thread_label(format!("server-{w}"));
                 let mut idle = Duration::ZERO;
                 let mut busy = Duration::ZERO;
-                let mut events: Vec<StreamEvent> = Vec::new();
                 loop {
-                    let wait_start = Instant::now();
+                    let idle_span = spot_trace::span(Cat::Stream, "idle");
                     let (msg, waited) = in_q.recv()?;
+                    if waited > Duration::ZERO {
+                        drop(idle_span);
+                    } else {
+                        idle_span.cancel();
+                    }
                     idle += waited;
                     let Some((i, item)) = msg else { break };
-                    events.extend(event(&lane, "idle", t0, wait_start, Instant::now()));
+                    let conv_span = spot_trace::span_owned(Cat::Stream, || format!("conv #{i}"));
                     let job_start = Instant::now();
                     let r = work(i, item);
-                    let job_end = Instant::now();
-                    busy += job_end.duration_since(job_start);
-                    events.extend(event(&lane, format!("conv #{i}"), t0, job_start, job_end));
+                    busy += job_start.elapsed();
+                    drop(conv_span);
                     out_q.send((i, r))?;
                 }
-                Ok::<_, SpotError>((idle, busy, events))
+                spot_trace::flush_thread();
+                Ok::<_, SpotError>((idle, busy))
             });
             // All workers have exited: no more results will appear.
             out_q.close();
@@ -489,7 +453,6 @@ where
         // producer and workers can exit before the error propagates.
         let mut pending: BTreeMap<usize, R> = BTreeMap::new();
         let mut next = 0usize;
-        let mut assemble_events: Vec<StreamEvent> = Vec::new();
         let mut assemble_err: Option<SpotError> = None;
         loop {
             let (msg, _) = match out_q.recv() {
@@ -505,28 +468,23 @@ where
             }
             pending.insert(i, r);
             while let Some(r) = pending.remove(&next) {
-                let c_start = Instant::now();
-                if let Err(e) = consume(next, r) {
+                let out_span = spot_trace::span_owned(Cat::Stream, || format!("out #{next}"));
+                let res = consume(next, r);
+                drop(out_span);
+                if let Err(e) = res {
                     assemble_err.get_or_insert(e);
                     break;
                 }
-                assemble_events.extend(event(
-                    "assemble",
-                    format!("out #{next}"),
-                    t0,
-                    c_start,
-                    Instant::now(),
-                ));
                 next += 1;
             }
         }
 
         let produced = producer_handle.join().expect("producer thread panicked");
         let per_worker = server_handle.join().expect("server pool panicked");
-        (produced, per_worker, assemble_events, assemble_err, next)
+        (produced, per_worker, assemble_err, next)
     });
 
-    let (produced, per_worker, assemble_events, assemble_err, consumed) = match scope_result {
+    let (produced, per_worker, assemble_err, consumed) = match scope_result {
         Ok(v) => v,
         Err(payload) => std::panic::resume_unwind(payload),
     };
@@ -544,19 +502,11 @@ where
         .as_secs_f64();
     stats.input_items = produced.pushed;
     stats.output_items = consumed;
-    stats.events.extend(produced.events);
     for worker_result in per_worker {
-        let (idle, busy, events) = worker_result?;
+        let (idle, busy) = worker_result?;
         stats.server_idle_s += idle.as_secs_f64();
         stats.server_busy_s += busy.as_secs_f64();
-        stats.events.extend(events);
     }
-    stats.events.extend(assemble_events);
-    stats.events.sort_by(|a, b| {
-        a.start_s
-            .partial_cmp(&b.start_s)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
     Ok(stats)
 }
 
@@ -598,10 +548,12 @@ where
 
     // Stage 1: drain the full upload; the server's workers are parked
     // until the barrier clears.
+    let barrier_span =
+        spot_trace::span(Cat::Stream, "barrier (await all inputs)").arg("workers", workers as u64);
     let scope_result = thread::scope(|s| {
         let in_q = &in_q;
         let producer_handle =
-            s.spawn(move |_| run_producer(in_q, t0, config.channel_capacity, producer));
+            s.spawn(move |_| run_producer(in_q, config.channel_capacity, producer));
         let mut inputs: Vec<T> = Vec::new();
         let mut drain_err: Option<SpotError> = None;
         loop {
@@ -628,18 +580,10 @@ where
         return Err(e);
     }
 
+    drop(barrier_span);
     let barrier_cleared = Instant::now();
     let upload_span = barrier_cleared.duration_since(t0);
     stats.server_idle_s = upload_span.as_secs_f64() * workers as f64;
-    for w in 0..workers {
-        stats.events.extend(event(
-            &format!("server-{w}"),
-            "idle (await all inputs)",
-            t0,
-            t0,
-            barrier_cleared,
-        ));
-    }
     stats.client_blocked_s = produced.blocked.as_secs_f64();
     stats.client_s = produced
         .finished
@@ -647,59 +591,46 @@ where
         .saturating_sub(produced.blocked)
         .as_secs_f64();
     stats.input_items = produced.pushed;
-    stats.events.extend(produced.events);
 
     // Stage 2: all inputs present — run the job fan-out on the pool.
     let cursor = AtomicUsize::new(0);
     let inputs_ref = &inputs;
     let work = &work;
     let per_worker = config.executor.run_workers(workers, |w| {
-        let lane = format!("server-{w}");
+        spot_trace::set_thread_label(format!("server-{w}"));
         let mut busy = Duration::ZERO;
         let mut done: Vec<(usize, R)> = Vec::new();
-        let mut events: Vec<StreamEvent> = Vec::new();
         loop {
             let j = cursor.fetch_add(1, Ordering::Relaxed);
             if j >= n_jobs {
                 break;
             }
+            let job_span = spot_trace::span_owned(Cat::Stream, || format!("job #{j}"));
             let job_start = Instant::now();
             let r = work(j, inputs_ref.as_slice());
-            let job_end = Instant::now();
-            busy += job_end.duration_since(job_start);
-            events.extend(event(&lane, format!("job #{j}"), t0, job_start, job_end));
+            busy += job_start.elapsed();
+            drop(job_span);
             done.push((j, r));
         }
-        (busy, done, events)
+        spot_trace::flush_thread();
+        (busy, done)
     });
 
     let mut slots: Vec<Option<R>> = (0..n_jobs).map(|_| None).collect();
-    for (busy, done, events) in per_worker {
+    for (busy, done) in per_worker {
         stats.server_busy_s += busy.as_secs_f64();
-        stats.events.extend(events);
         for (j, r) in done {
             slots[j] = Some(r);
         }
     }
     for (j, slot) in slots.into_iter().enumerate() {
-        let c_start = Instant::now();
         let r = slot.ok_or(SpotError::Disconnected("barrier job produced no result"))?;
+        let out_span = spot_trace::span_owned(Cat::Stream, || format!("out #{j}"));
         consume(j, r)?;
-        stats.events.extend(event(
-            "assemble",
-            format!("out #{j}"),
-            t0,
-            c_start,
-            Instant::now(),
-        ));
+        drop(out_span);
     }
     stats.output_items = n_jobs;
     stats.wall_s = t0.elapsed().as_secs_f64();
-    stats.events.sort_by(|a, b| {
-        a.start_s
-            .partial_cmp(&b.start_s)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
     Ok(stats)
 }
 
@@ -878,28 +809,26 @@ mod tests {
     }
 
     #[test]
-    fn stats_accumulate_shifts_events() {
+    fn stats_accumulate_sums_fields() {
         let mut a = StreamStats {
             wall_s: 1.0,
             server_idle_s: 0.25,
+            input_items: 4,
+            channel_capacity: 2,
             ..StreamStats::default()
         };
         let b = StreamStats {
             wall_s: 2.0,
             server_idle_s: 0.5,
-            events: vec![StreamEvent {
-                lane: "client".into(),
-                label: "enc #0".into(),
-                start_s: 0.1,
-                end_s: 0.2,
-            }],
+            input_items: 6,
+            channel_capacity: 3,
             ..StreamStats::default()
         };
         a.accumulate(&b);
         assert_eq!(a.wall_s, 3.0);
         assert_eq!(a.server_idle_s, 0.75);
-        assert_eq!(a.events[0].start_s, 1.1);
-        assert_eq!(a.events[0].end_s, 1.2);
+        assert_eq!(a.input_items, 10);
+        assert_eq!(a.channel_capacity, 3);
     }
 
     #[test]

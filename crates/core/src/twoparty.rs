@@ -34,12 +34,22 @@ use spot_proto::transport::Transport;
 use spot_proto::wire::WireMessage;
 use spot_tensor::models::ConvShape;
 use spot_tensor::tensor::Tensor;
+use spot_trace::Cat;
 use std::sync::Arc;
 
 /// `OtRound` op code for ReLU on shares.
 pub const OP_RELU: u8 = 1;
 /// `OtRound` op code for 2×2 max-pooling on shares.
 pub const OP_MAXPOOL: u8 = 2;
+
+/// Trace label for an `OtRound` op code.
+fn op_name(op: u8) -> &'static str {
+    match op {
+        OP_RELU => "relu",
+        OP_MAXPOOL => "maxpool",
+        _ => "ot",
+    }
+}
 
 fn encode_share(vals: &[u64]) -> Vec<u8> {
     let mut out = Vec::with_capacity(vals.len() * 8);
@@ -86,6 +96,8 @@ fn client_round(
     round: u16,
     payload: Vec<u8>,
 ) -> Result<Vec<u64>, SpotError> {
+    let _span = spot_trace::span_owned(Cat::Session, || format!("{} round", op_name(op)))
+        .arg("round", round as u64);
     transport.send(&WireMessage::OtRound {
         op,
         round,
@@ -151,7 +163,10 @@ fn client_conv<R: Rng + Send>(
         let uploader = s.spawn(move |_| {
             // Eager pacing: TCP's own flow control paces a real link,
             // and the concurrent absorber below must own every recv.
-            conv_ref.send_all(transport, input, UploadPacing::Eager, rng)
+            spot_trace::set_thread_label("uploader");
+            let sent = conv_ref.send_all(transport, input, UploadPacing::Eager, rng);
+            spot_trace::flush_thread();
+            sent
         });
         let share = conv_ref.absorb_all(transport);
         let sent = uploader.join().expect("upload thread panicked");
@@ -329,6 +344,7 @@ pub fn run_server<R: Rng>(
     let mut server_share = tensor_to_mod(&s1, t);
 
     // ReLU round 0.
+    let span = spot_trace::span(Cat::Session, "relu round").arg("round", 0);
     let blob = server_expect_round(transport, OP_RELU, 0)?;
     let client_share = decode_share(&blob)?;
     if client_share.len() != server_share.len() {
@@ -350,8 +366,10 @@ pub fn run_server<R: Rng>(
         round: 0,
         blob: encode_share(&cli),
     })?;
+    drop(span);
 
     // Max-pool round 1 (payload prefixed with the tensor dims).
+    let span = spot_trace::span(Cat::Session, "maxpool round").arg("round", 1);
     let blob = server_expect_round(transport, OP_MAXPOOL, 1)?;
     if blob.len() < 12 {
         return Err(SpotError::Protocol("maxpool payload too short".into()));
@@ -380,12 +398,14 @@ pub fn run_server<R: Rng>(
         round: 1,
         blob: encode_share(&cli),
     })?;
+    drop(span);
 
     // Layer boundary: reveal the server share so the client can
     // re-encrypt the mid tensor for conv2.
     transport.send(&WireMessage::ShareReveal {
         blob: encode_share(&server_share),
     })?;
+    spot_trace::instant(Cat::Session, "share reveal");
 
     // conv2.
     let s2 = absorb(
@@ -395,6 +415,7 @@ pub fn run_server<R: Rng>(
     let mut server_share = tensor_to_mod(&s2, t);
 
     // ReLU round 2, then the final reveal.
+    let span = spot_trace::span(Cat::Session, "relu round").arg("round", 2);
     let blob = server_expect_round(transport, OP_RELU, 2)?;
     let client_share = decode_share(&blob)?;
     if client_share.len() != server_share.len() {
@@ -416,9 +437,11 @@ pub fn run_server<R: Rng>(
         round: 2,
         blob: encode_share(&cli),
     })?;
+    drop(span);
     transport.send(&WireMessage::ShareReveal {
         blob: encode_share(&server_share),
     })?;
+    spot_trace::instant(Cat::Session, "share reveal");
 
     // Orderly teardown.
     let msg = transport.recv()?;

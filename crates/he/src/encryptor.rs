@@ -33,6 +33,7 @@ impl Encryptor {
 
     /// Encrypts a plaintext: `(b·u + e0 + Δ·m, a·u + e1)`.
     pub fn encrypt<R: Rng>(&self, pt: &Plaintext, rng: &mut R) -> Ciphertext {
+        spot_trace::count(spot_trace::Counter::Encrypt, 1);
         let ctx = &self.ctx;
         let mut u = sample_ternary(ctx, rng);
         u.to_ntt();
@@ -82,6 +83,7 @@ impl SymmetricEncryptor {
 
     /// Encrypts: sample uniform `a`, output `(-(a·s) + e + Δ·m, a)`.
     pub fn encrypt<R: Rng>(&self, pt: &Plaintext, rng: &mut R) -> Ciphertext {
+        spot_trace::count(spot_trace::Counter::Encrypt, 1);
         let ctx = &self.ctx;
         let a = sample_uniform(ctx, rng);
         let mut e = sample_error(ctx, rng);
@@ -124,6 +126,7 @@ impl Decryptor {
     /// Decrypts a ciphertext.
     #[allow(clippy::needless_range_loop)]
     pub fn decrypt(&self, ct: &Ciphertext) -> Plaintext {
+        spot_trace::count(spot_trace::Counter::Decrypt, 1);
         let ctx = &self.ctx;
         let n = ctx.degree();
         let k = ctx.moduli_count();

@@ -10,6 +10,8 @@ use crate::context::Context;
 use crate::encoding::{galois_elt_column_swap, galois_elt_from_step, Plaintext};
 use crate::keys::{GaloisKeys, KeySwitchKey};
 use crate::poly::{Poly, PolyForm};
+use spot_trace::{count, Counter};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The HE operation kinds a scheme performs, for cost accounting.
@@ -59,6 +61,85 @@ impl OpCounts {
         self.encrypt += other.encrypt;
         self.decrypt += other.decrypt;
     }
+
+    /// Field-wise `self - earlier`, saturating at zero. With `earlier` a
+    /// snapshot taken before a layer and `self` one taken after, the
+    /// delta is that layer's exact operation tally (sums of commutative
+    /// additions, so this holds even when workers recorded in parallel
+    /// via [`AtomicOpCounts`]).
+    pub fn delta(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            add: self.add.saturating_sub(earlier.add),
+            mult_plain: self.mult_plain.saturating_sub(earlier.mult_plain),
+            rotate: self.rotate.saturating_sub(earlier.rotate),
+            encrypt: self.encrypt.saturating_sub(earlier.encrypt),
+            decrypt: self.decrypt.saturating_sub(earlier.decrypt),
+        }
+    }
+
+    /// Sum of all fields (quick "did anything run" check).
+    pub fn total(&self) -> u64 {
+        self.add + self.mult_plain + self.rotate + self.encrypt + self.decrypt
+    }
+}
+
+/// A thread-safe [`OpSink`]: relaxed atomic tallies that parallel
+/// workers record into concurrently. Relaxed `fetch_add`s commute, so
+/// [`AtomicOpCounts::snapshot`] deltas attribute ops to a layer exactly
+/// regardless of worker interleaving.
+#[derive(Debug, Default)]
+pub struct AtomicOpCounts {
+    add: AtomicU64,
+    mult_plain: AtomicU64,
+    rotate: AtomicU64,
+    encrypt: AtomicU64,
+    decrypt: AtomicU64,
+}
+
+impl AtomicOpCounts {
+    /// Creates a zeroed tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one operation (relaxed; callable from any thread).
+    pub fn record(&self, op: HeOp) {
+        let field = match op {
+            HeOp::Add => &self.add,
+            HeOp::MultPlain => &self.mult_plain,
+            HeOp::Rotate => &self.rotate,
+            HeOp::Encrypt => &self.encrypt,
+            HeOp::Decrypt => &self.decrypt,
+        };
+        field.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds a finished private tally in (e.g. a worker's `OpCounts`).
+    pub fn merge(&self, other: &OpCounts) {
+        self.add.fetch_add(other.add, Ordering::Relaxed);
+        self.mult_plain
+            .fetch_add(other.mult_plain, Ordering::Relaxed);
+        self.rotate.fetch_add(other.rotate, Ordering::Relaxed);
+        self.encrypt.fetch_add(other.encrypt, Ordering::Relaxed);
+        self.decrypt.fetch_add(other.decrypt, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the tally as a plain [`OpCounts`].
+    pub fn snapshot(&self) -> OpCounts {
+        OpCounts {
+            add: self.add.load(Ordering::Relaxed),
+            mult_plain: self.mult_plain.load(Ordering::Relaxed),
+            rotate: self.rotate.load(Ordering::Relaxed),
+            encrypt: self.encrypt.load(Ordering::Relaxed),
+            decrypt: self.decrypt.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl OpSink for &AtomicOpCounts {
+    fn record(&mut self, op: HeOp) {
+        AtomicOpCounts::record(self, op);
+    }
 }
 
 impl OpSink for OpCounts {
@@ -100,12 +181,14 @@ impl Evaluator {
 
     /// `a += b`.
     pub fn add_inplace(&self, a: &mut Ciphertext, b: &Ciphertext) {
+        count(Counter::AddOps, 1);
         a.c0.add_assign(&b.c0);
         a.c1.add_assign(&b.c1);
     }
 
     /// `a - b`.
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        count(Counter::AddOps, 1);
         let mut out = a.clone();
         out.c0.sub_assign(&b.c0);
         out.c1.sub_assign(&b.c1);
@@ -114,6 +197,7 @@ impl Evaluator {
 
     /// Adds an encoded plaintext to a ciphertext (`ct + Δ·m`).
     pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        count(Counter::AddOps, 1);
         let dm = pt.lift_scaled(&self.ctx);
         let mut out = a.clone();
         out.c0.add_assign(&dm);
@@ -122,6 +206,7 @@ impl Evaluator {
 
     /// Subtracts an encoded plaintext from a ciphertext.
     pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        count(Counter::AddOps, 1);
         let mut dm = pt.lift_scaled(&self.ctx);
         dm.neg_assign();
         let mut out = a.clone();
@@ -145,6 +230,7 @@ impl Evaluator {
     /// Panics if the lifted plaintext is not in NTT form.
     pub fn multiply_lifted(&self, a: &Ciphertext, lifted: &Poly) -> Ciphertext {
         assert_eq!(lifted.form(), PolyForm::Ntt, "plaintext must be lifted");
+        count(Counter::MultPlain, 1);
         let mut out = a.clone();
         out.c0.mul_assign_ntt(lifted);
         out.c1.mul_assign_ntt(lifted);
@@ -160,6 +246,7 @@ impl Evaluator {
     /// and the `digit * ksk` products accumulate through the fused
     /// [`Poly::add_mul_assign_ntt`] — no per-digit allocation or clone.
     fn key_switch(&self, c0: Poly, mut c1: Poly, ksk: &KeySwitchKey) -> Ciphertext {
+        count(Counter::KeySwitch, 1);
         let ctx = &self.ctx;
         let k = ctx.moduli_count();
         c1.to_coeff();
@@ -199,6 +286,7 @@ impl Evaluator {
     ///
     /// Panics if no Galois key for `g` is present.
     pub fn apply_galois(&self, a: &Ciphertext, g: usize, keys: &GaloisKeys) -> Ciphertext {
+        count(Counter::Rotate, 1);
         let ksk = keys
             .keys
             .get(&g)
@@ -379,5 +467,61 @@ mod tests {
         assert_eq!(counts.add, 1);
         assert_eq!(counts.rotate, 2);
         assert_eq!(counts.mult_plain, 0);
+    }
+
+    #[test]
+    fn op_counts_delta_is_exact_per_layer() {
+        let mut running = OpCounts::default();
+        running.record(HeOp::Rotate);
+        running.record(HeOp::MultPlain);
+        let before_layer = running;
+        running.record(HeOp::Rotate);
+        running.record(HeOp::Add);
+        running.record(HeOp::Add);
+        let layer = running.delta(&before_layer);
+        assert_eq!(layer.rotate, 1);
+        assert_eq!(layer.add, 2);
+        assert_eq!(layer.mult_plain, 0);
+        assert_eq!(layer.total(), 3);
+        // Saturation: a backwards delta is zero, not a wrap.
+        assert_eq!(before_layer.delta(&running).total(), 0);
+    }
+
+    #[test]
+    fn atomic_op_counts_record_and_merge() {
+        let shared = AtomicOpCounts::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let sink: &AtomicOpCounts = &shared;
+                    for _ in 0..100 {
+                        sink.record(HeOp::Rotate);
+                        sink.record(HeOp::MultPlain);
+                    }
+                });
+            }
+        });
+        let mut private = OpCounts::default();
+        private.record(HeOp::Encrypt);
+        shared.merge(&private);
+        let snap = shared.snapshot();
+        assert_eq!(snap.rotate, 400);
+        assert_eq!(snap.mult_plain, 400);
+        assert_eq!(snap.encrypt, 1);
+        assert_eq!(snap.add, 0);
+    }
+
+    #[test]
+    fn atomic_snapshot_delta_attributes_layers() {
+        let shared = AtomicOpCounts::new();
+        shared.record(HeOp::Rotate);
+        let before = shared.snapshot();
+        shared.record(HeOp::Rotate);
+        shared.record(HeOp::Decrypt);
+        let after = shared.snapshot();
+        let layer = after.delta(&before);
+        assert_eq!(layer.rotate, 1);
+        assert_eq!(layer.decrypt, 1);
+        assert_eq!(layer.total(), 2);
     }
 }

@@ -99,6 +99,7 @@ impl ModSwitch {
     /// [`ModSwitch::target_context`] and decrypts under a secret key
     /// generated from the same seed/polynomial in that context.
     pub fn switch(&self, ct: &Ciphertext) -> Ciphertext {
+        spot_trace::count(spot_trace::Counter::ModSwitch, 1);
         let mut c0 = self.switch_poly(ct.c0());
         let mut c1 = self.switch_poly(ct.c1());
         c0.to_ntt();

@@ -127,6 +127,7 @@ impl Poly {
         if self.form == PolyForm::Ntt {
             return;
         }
+        spot_trace::count(spot_trace::Counter::NttFwd, 1);
         let ctx = Arc::clone(&self.ctx);
         for (i, tables) in ctx.ntt_tables().iter().enumerate() {
             tables.forward(self.residues_mut(i));
@@ -139,6 +140,7 @@ impl Poly {
         if self.form == PolyForm::Coeff {
             return;
         }
+        spot_trace::count(spot_trace::Counter::NttInv, 1);
         let ctx = Arc::clone(&self.ctx);
         for (i, tables) in ctx.ntt_tables().iter().enumerate() {
             tables.inverse(self.residues_mut(i));

@@ -77,10 +77,12 @@ pub fn take(len: usize) -> Vec<u64> {
         match p.free.get_mut(&len).and_then(Vec::pop) {
             Some(buf) => {
                 p.stats.reused += 1;
+                spot_trace::count(spot_trace::Counter::PoolHit, 1);
                 buf
             }
             None => {
                 p.stats.fresh += 1;
+                spot_trace::count(spot_trace::Counter::PoolMiss, 1);
                 vec![0u64; len]
             }
         }
@@ -110,8 +112,10 @@ pub fn recycle(buf: Vec<u64>) {
         if list.len() < cap {
             list.push(buf);
             p.stats.recycled += 1;
+            spot_trace::count(spot_trace::Counter::PoolRecycled, 1);
         } else {
             p.stats.dropped += 1;
+            spot_trace::count(spot_trace::Counter::PoolDropped, 1);
         }
     });
 }

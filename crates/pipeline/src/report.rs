@@ -139,10 +139,13 @@ pub struct TransferRow {
     pub direction: String,
     /// Framed wire bytes (headers + payloads).
     pub bytes: u64,
-    /// Protocol messages.
+    /// Protocol messages (one framed message per wire frame).
     pub messages: u64,
     /// Measured transfer wall-clock in seconds (0 if unmeasured).
     pub measured_s: f64,
+    /// Time the sender spent blocked in `send` on backpressure, in
+    /// seconds (0 for the receiving direction or an unbounded pipe).
+    pub send_blocked_s: f64,
     /// Link-model-predicted transfer time for the same byte count.
     pub modeled_s: f64,
 }
@@ -154,18 +157,23 @@ pub struct TransferRow {
 pub fn transfer_table(title: impl Into<String>, rows: &[TransferRow]) -> String {
     let mut t = Table::new(
         title,
-        &["direction", "bytes", "messages", "measured", "modeled"],
+        &[
+            "direction",
+            "bytes",
+            "frames",
+            "measured",
+            "send blocked",
+            "modeled",
+        ],
     );
+    let opt = |v: f64| if v > 0.0 { secs(v) } else { "-".into() };
     for r in rows {
         t.row(&[
             r.direction.clone(),
             r.bytes.to_string(),
             r.messages.to_string(),
-            if r.measured_s > 0.0 {
-                secs(r.measured_s)
-            } else {
-                "-".into()
-            },
+            opt(r.measured_s),
+            opt(r.send_blocked_s),
             secs(r.modeled_s),
         ]);
     }
@@ -200,6 +208,25 @@ mod tests {
     fn helpers() {
         assert_eq!(secs(1.2345), "1.234s");
         assert_eq!(speedup(10.0, 4.0), "2.50x");
+    }
+
+    #[test]
+    fn transfer_table_surfaces_send_blocked_and_frames() {
+        let s = transfer_table(
+            "T",
+            &[TransferRow {
+                direction: "client -> server".into(),
+                bytes: 1024,
+                messages: 7,
+                measured_s: 0.0,
+                send_blocked_s: 0.25,
+                modeled_s: 0.5,
+            }],
+        );
+        assert!(s.contains("frames"));
+        assert!(s.contains("send blocked"));
+        assert!(s.contains("0.250s"));
+        assert!(s.contains('7'));
     }
 
     #[test]

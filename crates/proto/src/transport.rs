@@ -7,6 +7,7 @@
 use crate::channel::TrafficStats;
 use crate::error::ProtoError;
 use crate::wire::WireMessage;
+use spot_trace::{count, Counter};
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -22,6 +23,19 @@ pub struct TransportStats {
     pub received: TrafficStats,
     /// Time this endpoint spent blocked in `send` on backpressure.
     pub send_blocked: Duration,
+}
+
+// Per-frame trace accounting shared by both transports: typed counters
+// (bytes/frames/blocked time per direction) for the process totals.
+fn trace_sent(bytes: u64, blocked: Duration) {
+    count(Counter::TxBytes, bytes);
+    count(Counter::TxFrames, 1);
+    count(Counter::TxBlockedNs, blocked.as_nanos() as u64);
+}
+
+fn trace_received(bytes: u64) {
+    count(Counter::RxBytes, bytes);
+    count(Counter::RxFrames, 1);
 }
 
 /// A bidirectional, ordered message pipe between the two parties.
@@ -163,7 +177,10 @@ impl Transport for MemTransport {
     fn send(&self, msg: &WireMessage) -> Result<(), ProtoError> {
         let frame = msg.encode_frame();
         let bytes = frame.len() as u64;
+        let span = spot_trace::span(spot_trace::Cat::Net, "send").arg("bytes", bytes);
         let blocked = self.tx.push(frame)?;
+        drop(span);
+        trace_sent(bytes, blocked);
         let mut st = self.stats.lock().map_err(|_| ProtoError::Poisoned)?;
         st.sent.bytes += bytes;
         st.sent.messages += 1;
@@ -172,11 +189,14 @@ impl Transport for MemTransport {
     }
 
     fn recv(&self) -> Result<WireMessage, ProtoError> {
+        let span = spot_trace::span(spot_trace::Cat::Net, "recv");
         let frame = self.rx.pop()?;
+        drop(span);
         let (msg, used) = WireMessage::decode_frame(&frame)?;
         if used != frame.len() {
             return Err(ProtoError::Malformed("trailing bytes in frame".into()));
         }
+        trace_received(frame.len() as u64);
         let mut st = self.stats.lock().map_err(|_| ProtoError::Poisoned)?;
         st.received.bytes += frame.len() as u64;
         st.received.messages += 1;
@@ -233,6 +253,7 @@ impl TcpTransport {
 impl Transport for TcpTransport {
     fn send(&self, msg: &WireMessage) -> Result<(), ProtoError> {
         let frame = msg.encode_frame();
+        let span = spot_trace::span(spot_trace::Cat::Net, "send").arg("bytes", frame.len() as u64);
         let t0 = Instant::now();
         {
             let mut w = self.writer.lock().map_err(|_| ProtoError::Poisoned)?;
@@ -240,6 +261,8 @@ impl Transport for TcpTransport {
             w.flush()?;
         }
         let elapsed = t0.elapsed();
+        drop(span);
+        trace_sent(frame.len() as u64, elapsed);
         let mut st = self.stats.lock().map_err(|_| ProtoError::Poisoned)?;
         st.sent.bytes += frame.len() as u64;
         st.sent.messages += 1;
@@ -248,10 +271,13 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&self) -> Result<WireMessage, ProtoError> {
+        let span = spot_trace::span(spot_trace::Cat::Net, "recv");
         let msg = {
             let mut r = self.reader.lock().map_err(|_| ProtoError::Poisoned)?;
             WireMessage::read_from(&mut *r)?
         };
+        drop(span);
+        trace_received(msg.frame_len() as u64);
         let mut st = self.stats.lock().map_err(|_| ProtoError::Poisoned)?;
         st.received.bytes += msg.frame_len() as u64;
         st.received.messages += 1;

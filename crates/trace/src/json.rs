@@ -1,0 +1,231 @@
+//! Minimal JSON validator.
+//!
+//! A recursive-descent checker for RFC 8259 JSON, used to assert that
+//! the Chrome-trace exporter emits well-formed output without pulling a
+//! serde stack into the workspace. It validates structure only — no DOM
+//! is built, so validating a multi-megabyte trace costs one pass and no
+//! allocation beyond the recursion stack.
+
+/// Validates that `input` is a single well-formed JSON value.
+///
+/// Returns `Err` with a byte offset and a short description of the
+/// first problem found.
+pub fn validate(input: &str) -> Result<(), String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(())
+}
+
+const MAX_DEPTH: usize = 128;
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => *pos += 1,
+            _ => break,
+        }
+    }
+}
+
+fn fail(pos: usize, what: &str) -> Result<(), String> {
+    Err(format!("{what} at byte {pos}"))
+}
+
+fn value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    if depth > MAX_DEPTH {
+        return fail(*pos, "nesting too deep");
+    }
+    match bytes.get(*pos) {
+        Some(b'{') => object(bytes, pos, depth),
+        Some(b'[') => array(bytes, pos, depth),
+        Some(b'"') => string(bytes, pos),
+        Some(b't') => literal(bytes, pos, b"true"),
+        Some(b'f') => literal(bytes, pos, b"false"),
+        Some(b'n') => literal(bytes, pos, b"null"),
+        Some(b'-') | Some(b'0'..=b'9') => number(bytes, pos),
+        Some(_) => fail(*pos, "unexpected character"),
+        None => fail(*pos, "unexpected end of input"),
+    }
+}
+
+fn literal(bytes: &[u8], pos: &mut usize, expect: &[u8]) -> Result<(), String> {
+    if bytes[*pos..].starts_with(expect) {
+        *pos += expect.len();
+        Ok(())
+    } else {
+        fail(*pos, "invalid literal")
+    }
+}
+
+fn object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return fail(*pos, "expected object key string");
+        }
+        string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return fail(*pos, "expected ':' after object key");
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        value(bytes, pos, depth + 1)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return fail(*pos, "expected ',' or '}' in object"),
+        }
+    }
+}
+
+fn array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        value(bytes, pos, depth + 1)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return fail(*pos, "expected ',' or ']' in array"),
+        }
+    }
+}
+
+fn string(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume opening quote
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match bytes.get(*pos) {
+                                Some(c) if c.is_ascii_hexdigit() => *pos += 1,
+                                _ => return fail(*pos, "invalid \\u escape"),
+                            }
+                        }
+                    }
+                    _ => return fail(*pos, "invalid escape"),
+                }
+            }
+            0x00..=0x1f => return fail(*pos, "unescaped control character in string"),
+            _ => *pos += 1,
+        }
+    }
+    fail(*pos, "unterminated string")
+}
+
+fn number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    match bytes.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+        }
+        _ => return fail(*pos, "invalid number"),
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return fail(*pos, "digit required after decimal point");
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            return fail(*pos, "digit required in exponent");
+        }
+        while matches!(bytes.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::validate;
+
+    #[test]
+    fn accepts_valid_documents() {
+        for doc in [
+            "null",
+            "true",
+            "[]",
+            "{}",
+            "[1, 2.5, -3e4, \"x\", {\"k\": [false]}]",
+            "  {\"a\": {\"b\": \"\\u00e9\\n\"}}  ",
+            "0.125",
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc:?} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_documents() {
+        for doc in [
+            "",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "[1] trailing",
+            "\"unterminated",
+            "01",
+            "1.",
+            "nul",
+            "{a: 1}",
+            "\"bad \u{1}\"",
+        ] {
+            assert!(validate(doc).is_err(), "{doc:?} accepted");
+        }
+    }
+
+    #[test]
+    fn rejects_overdeep_nesting() {
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(validate(&deep).is_err());
+    }
+}

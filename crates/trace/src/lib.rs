@@ -1,0 +1,759 @@
+//! # spot-trace — unified tracing & metrics for the SPOT pipeline
+//!
+//! One instrumentation substrate for the whole workspace, replacing the
+//! ad-hoc telemetry that used to live in four places (`OpCounts`
+//! callbacks, `TrafficStats`, the `StreamEvent` Gantt buffers, and the
+//! stall tables): lightweight **spans** and **instants** with monotonic
+//! timestamps and explicit span/parent/thread ids, typed **counters**
+//! (HE ops, pool hits, wire bytes) and **gauges** (queue depth), and
+//! two exporters — a [Chrome-trace-format] JSON loadable in
+//! `chrome://tracing` / [Perfetto], and a plain-text summary.
+//!
+//! ## Cost model
+//!
+//! Tracing is **off by default** and the disabled path is a single
+//! relaxed atomic load plus a branch — a few nanoseconds, no allocation,
+//! no `Instant::now()` — so instrumentation sites can stay compiled into
+//! release builds (verified by the `trace_overhead` bench in
+//! `spot-bench`). When enabled, events are recorded into thread-local
+//! buffers that flush into a global sink when full and when the thread
+//! exits; the global lock is taken only at flush, never per event.
+//!
+//! ## Collection contract
+//!
+//! [`take_events`] flushes the *calling* thread and drains the sink.
+//! Worker threads flush automatically on exit, so the intended pattern
+//! is: enable, run (scoped worker threads join before the scope ends),
+//! then collect on the coordinating thread. Threads that are still
+//! alive and have not filled their buffer retain their tail until they
+//! exit or their owner calls [`flush_thread`].
+//!
+//! [Chrome-trace-format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [Perfetto]: https://ui.perfetto.dev
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod json;
+pub mod summary;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Global switch and clock
+// ---------------------------------------------------------------------
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether tracing is currently on. This is the disabled-path hot
+/// check: one relaxed load.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns tracing on (idempotent). The first call fixes the trace
+/// origin; all timestamps are nanoseconds since that instant.
+pub fn enable() {
+    origin();
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns tracing off. Already-buffered events are kept until drained.
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+fn origin() -> Instant {
+    static ORIGIN: OnceLock<Instant> = OnceLock::new();
+    *ORIGIN.get_or_init(Instant::now)
+}
+
+#[inline]
+fn now_ns() -> u64 {
+    origin().elapsed().as_nanos() as u64
+}
+
+// ---------------------------------------------------------------------
+// Event model
+// ---------------------------------------------------------------------
+
+/// Event category — the subsystem that emitted it (one Chrome-trace
+/// `cat` per variant, also used to group the text summary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cat {
+    /// Client-side protocol work (packing, encryption, share assembly).
+    Client,
+    /// Server-side protocol work (convolution, masking).
+    Server,
+    /// Streaming runtime (queue stages, worker idle/busy).
+    Stream,
+    /// Wire transports (frame send/recv).
+    Net,
+    /// HE primitive layer.
+    He,
+    /// Session / layer state machines.
+    Session,
+    /// Application drivers and binaries.
+    App,
+}
+
+impl Cat {
+    /// Stable lowercase name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Cat::Client => "client",
+            Cat::Server => "server",
+            Cat::Stream => "stream",
+            Cat::Net => "net",
+            Cat::He => "he",
+            Cat::Session => "session",
+            Cat::App => "app",
+        }
+    }
+}
+
+/// An event name: `'static` on hot paths, owned for per-item labels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Name {
+    /// A static label (no allocation).
+    Static(&'static str),
+    /// A dynamically built label (allocated only while tracing is on).
+    Owned(String),
+}
+
+impl Name {
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Name::Static(s) => s,
+            Name::Owned(s) => s,
+        }
+    }
+}
+
+/// What kind of event this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// A timed span; `ts_ns` is the start, `dur_ns` the length.
+    Span {
+        /// Span duration in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A zero-duration marker.
+    Instant,
+    /// A sampled gauge value (e.g. queue depth).
+    Gauge {
+        /// The sampled value.
+        value: u64,
+    },
+}
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Label.
+    pub name: Name,
+    /// Emitting subsystem.
+    pub cat: Cat,
+    /// Nanoseconds since the trace origin.
+    pub ts_ns: u64,
+    /// Recording thread (dense ids assigned in first-use order).
+    pub tid: u32,
+    /// Span id (0 for instants and gauges).
+    pub id: u32,
+    /// Enclosing span id on the same thread at entry (0 = root).
+    pub parent: u32,
+    /// Optional numeric payload (e.g. `("bytes", 12_345)`).
+    pub arg: Option<(&'static str, u64)>,
+    /// Event kind.
+    pub phase: Phase,
+}
+
+impl Event {
+    /// Span end in nanoseconds (== `ts_ns` for non-spans).
+    pub fn end_ns(&self) -> u64 {
+        match self.phase {
+            Phase::Span { dur_ns } => self.ts_ns + dur_ns,
+            _ => self.ts_ns,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Thread-local buffers and the global sink
+// ---------------------------------------------------------------------
+
+const FLUSH_AT: usize = 4096;
+
+static SINK: Mutex<Vec<Event>> = Mutex::new(Vec::new());
+static THREAD_NAMES: Mutex<Vec<(u32, String)>> = Mutex::new(Vec::new());
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+static NEXT_SPAN_ID: AtomicU32 = AtomicU32::new(1);
+
+struct ThreadBuf {
+    tid: u32,
+    buf: Vec<Event>,
+    stack: Vec<u32>,
+}
+
+impl ThreadBuf {
+    fn new() -> Self {
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        let name = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{tid}"));
+        if let Ok(mut names) = THREAD_NAMES.lock() {
+            names.push((tid, name));
+        }
+        Self {
+            tid,
+            buf: Vec::new(),
+            stack: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, ev: Event) {
+        self.buf.push(ev);
+        if self.buf.len() >= FLUSH_AT {
+            self.flush();
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        if let Ok(mut sink) = SINK.lock() {
+            sink.append(&mut self.buf);
+        } else {
+            self.buf.clear();
+        }
+    }
+}
+
+impl Drop for ThreadBuf {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static TLS: RefCell<ThreadBuf> = RefCell::new(ThreadBuf::new());
+}
+
+fn with_tls<R>(f: impl FnOnce(&mut ThreadBuf) -> R) -> Option<R> {
+    TLS.try_with(|t| f(&mut t.borrow_mut())).ok()
+}
+
+/// Overrides the current thread's display name in exports (worker
+/// lanes call this with e.g. `server-0`). No-op while disabled.
+pub fn set_thread_label(label: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    let label = label.into();
+    with_tls(|t| {
+        if let Ok(mut names) = THREAD_NAMES.lock() {
+            match names.iter_mut().find(|(tid, _)| *tid == t.tid) {
+                Some(entry) => entry.1 = label,
+                None => names.push((t.tid, label)),
+            }
+        }
+    });
+}
+
+/// Flushes the calling thread's buffered events into the global sink.
+pub fn flush_thread() {
+    with_tls(|t| t.flush());
+}
+
+/// Flushes the calling thread, then drains every flushed event from the
+/// global sink, sorted by start timestamp. Threads still alive keep
+/// their unflushed tail (see the module docs for the collection
+/// contract).
+pub fn take_events() -> Vec<Event> {
+    flush_thread();
+    let mut events = SINK
+        .lock()
+        .map(|mut sink| std::mem::take(&mut *sink))
+        .unwrap_or_default();
+    events.sort_by_key(|e| (e.ts_ns, e.id));
+    events
+}
+
+/// Registered `(tid, name)` pairs, for exporters.
+pub fn thread_names() -> Vec<(u32, String)> {
+    THREAD_NAMES.lock().map(|n| n.clone()).unwrap_or_default()
+}
+
+/// Clears buffered events on the calling thread and in the sink, and
+/// zeroes every counter. Test/run-boundary helper; other threads'
+/// unflushed buffers are untouched.
+pub fn reset() {
+    with_tls(|t| t.buf.clear());
+    if let Ok(mut sink) = SINK.lock() {
+        sink.clear();
+    }
+    for c in &COUNTERS {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spans and instants
+// ---------------------------------------------------------------------
+
+/// RAII span guard: records one [`Phase::Span`] event on drop. Obtain
+/// via [`span`] / [`span_owned`]; a guard created while tracing is
+/// disabled is inert (zero-cost drop).
+#[must_use = "a span records on drop; binding to _ drops it immediately"]
+pub struct Span {
+    // None = tracing was disabled at entry; fully inert.
+    live: Option<SpanLive>,
+}
+
+struct SpanLive {
+    name: Name,
+    cat: Cat,
+    start_ns: u64,
+    id: u32,
+    parent: u32,
+    arg: Option<(&'static str, u64)>,
+}
+
+fn enter(cat: Cat, name: Name) -> Span {
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = with_tls(|t| {
+        let parent = t.stack.last().copied().unwrap_or(0);
+        t.stack.push(id);
+        parent
+    })
+    .unwrap_or(0);
+    Span {
+        live: Some(SpanLive {
+            name,
+            cat,
+            start_ns: now_ns(),
+            id,
+            parent,
+            arg: None,
+        }),
+    }
+}
+
+/// Opens a span with a static label. Disabled path: one atomic load.
+#[inline]
+pub fn span(cat: Cat, name: &'static str) -> Span {
+    if !enabled() {
+        return Span { live: None };
+    }
+    enter(cat, Name::Static(name))
+}
+
+/// Opens a span whose label is built by `f` — the closure runs (and
+/// allocates) only while tracing is enabled.
+#[inline]
+pub fn span_owned<F: FnOnce() -> String>(cat: Cat, f: F) -> Span {
+    if !enabled() {
+        return Span { live: None };
+    }
+    enter(cat, Name::Owned(f()))
+}
+
+impl Span {
+    /// Attaches a numeric payload exported under `args`.
+    pub fn arg(mut self, key: &'static str, value: u64) -> Span {
+        if let Some(live) = &mut self.live {
+            live.arg = Some((key, value));
+        }
+        self
+    }
+
+    /// This span's id (0 when tracing was disabled at entry).
+    pub fn id(&self) -> u32 {
+        self.live.as_ref().map_or(0, |l| l.id)
+    }
+
+    /// Discards the span without recording it (the nesting stack is
+    /// still unwound). For conditionally-interesting spans, e.g. a
+    /// "blocked" window that turned out to be zero-length.
+    pub fn cancel(mut self) {
+        let Some(live) = self.live.take() else { return };
+        with_tls(|t| {
+            if let Some(pos) = t.stack.iter().rposition(|&id| id == live.id) {
+                t.stack.truncate(pos);
+            }
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        let dur_ns = now_ns().saturating_sub(live.start_ns);
+        with_tls(|t| {
+            // Guards are scoped, so the top of the stack is this span;
+            // tolerate misuse by searching downward.
+            if let Some(pos) = t.stack.iter().rposition(|&id| id == live.id) {
+                t.stack.truncate(pos);
+            }
+            t.push(Event {
+                name: live.name,
+                cat: live.cat,
+                ts_ns: live.start_ns,
+                tid: t.tid,
+                id: live.id,
+                parent: live.parent,
+                arg: live.arg,
+                phase: Phase::Span { dur_ns },
+            });
+        });
+    }
+}
+
+fn record_leaf(cat: Cat, name: Name, arg: Option<(&'static str, u64)>, phase: Phase) {
+    let ts_ns = now_ns();
+    with_tls(|t| {
+        // Gauges are process-scoped samples, not span-local work: they
+        // carry no parent link, so a sample taken inside a span that is
+        // later cancelled (e.g. a not-actually-blocked wait span) can
+        // never leave a dangling reference.
+        let parent = if matches!(phase, Phase::Gauge { .. }) {
+            0
+        } else {
+            t.stack.last().copied().unwrap_or(0)
+        };
+        t.push(Event {
+            name,
+            cat,
+            ts_ns,
+            tid: t.tid,
+            id: 0,
+            parent,
+            arg,
+            phase,
+        });
+    });
+}
+
+/// Records a zero-duration marker. Disabled path: one atomic load.
+#[inline]
+pub fn instant(cat: Cat, name: &'static str) {
+    if !enabled() {
+        return;
+    }
+    record_leaf(cat, Name::Static(name), None, Phase::Instant);
+}
+
+/// Samples a gauge (e.g. queue depth) into the trace timeline.
+/// Disabled path: one atomic load.
+#[inline]
+pub fn gauge(cat: Cat, name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    record_leaf(cat, Name::Static(name), None, Phase::Gauge { value });
+}
+
+// ---------------------------------------------------------------------
+// Typed counters
+// ---------------------------------------------------------------------
+
+/// The process-wide typed counters. Monotonic relaxed atomics; snapshot
+/// with [`counters`] and attribute per layer/session via
+/// [`CounterSnapshot::delta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// Polynomial forward NTT conversions (one per `Poly::to_ntt`).
+    NttFwd,
+    /// Polynomial inverse NTT conversions (one per `Poly::to_coeff`).
+    NttInv,
+    /// Slot rotations (Galois automorphism + key switch).
+    Rotate,
+    /// RNS key-switch invocations.
+    KeySwitch,
+    /// Ciphertext modulus switches.
+    ModSwitch,
+    /// Encryptions.
+    Encrypt,
+    /// Decryptions.
+    Decrypt,
+    /// Ciphertext additions (ct+ct and ct±plain).
+    AddOps,
+    /// Ciphertext–plaintext multiplications.
+    MultPlain,
+    /// Residue-buffer pool takes served from the free list.
+    PoolHit,
+    /// Residue-buffer pool takes that hit the allocator.
+    PoolMiss,
+    /// Buffers returned to the pool free list.
+    PoolRecycled,
+    /// Buffers dropped because the pool was at capacity.
+    PoolDropped,
+    /// Items pushed into streaming queues.
+    QueuePushed,
+    /// Items popped from streaming queues.
+    QueuePopped,
+    /// Nanoseconds producers spent blocked on queue backpressure.
+    QueueBlockedNs,
+    /// Framed wire bytes sent by this process.
+    TxBytes,
+    /// Wire frames sent by this process.
+    TxFrames,
+    /// Framed wire bytes received by this process.
+    RxBytes,
+    /// Wire frames received by this process.
+    RxFrames,
+    /// Nanoseconds senders spent blocked in `Transport::send`.
+    TxBlockedNs,
+}
+
+/// Number of [`Counter`] variants.
+pub const COUNTER_COUNT: usize = 21;
+
+impl Counter {
+    /// Every counter, in declaration order.
+    pub const ALL: [Counter; COUNTER_COUNT] = [
+        Counter::NttFwd,
+        Counter::NttInv,
+        Counter::Rotate,
+        Counter::KeySwitch,
+        Counter::ModSwitch,
+        Counter::Encrypt,
+        Counter::Decrypt,
+        Counter::AddOps,
+        Counter::MultPlain,
+        Counter::PoolHit,
+        Counter::PoolMiss,
+        Counter::PoolRecycled,
+        Counter::PoolDropped,
+        Counter::QueuePushed,
+        Counter::QueuePopped,
+        Counter::QueueBlockedNs,
+        Counter::TxBytes,
+        Counter::TxFrames,
+        Counter::RxBytes,
+        Counter::RxFrames,
+        Counter::TxBlockedNs,
+    ];
+
+    /// Stable snake_case name used in exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::NttFwd => "ntt_fwd",
+            Counter::NttInv => "ntt_inv",
+            Counter::Rotate => "rotate",
+            Counter::KeySwitch => "key_switch",
+            Counter::ModSwitch => "mod_switch",
+            Counter::Encrypt => "encrypt",
+            Counter::Decrypt => "decrypt",
+            Counter::AddOps => "add_ops",
+            Counter::MultPlain => "mult_plain",
+            Counter::PoolHit => "pool_hit",
+            Counter::PoolMiss => "pool_miss",
+            Counter::PoolRecycled => "pool_recycled",
+            Counter::PoolDropped => "pool_dropped",
+            Counter::QueuePushed => "queue_pushed",
+            Counter::QueuePopped => "queue_popped",
+            Counter::QueueBlockedNs => "queue_blocked_ns",
+            Counter::TxBytes => "tx_bytes",
+            Counter::TxFrames => "tx_frames",
+            Counter::RxBytes => "rx_bytes",
+            Counter::RxFrames => "rx_frames",
+            Counter::TxBlockedNs => "tx_blocked_ns",
+        }
+    }
+
+    /// Whether the counter accumulates nanoseconds (rendered as time).
+    pub fn is_nanos(self) -> bool {
+        matches!(self, Counter::QueueBlockedNs | Counter::TxBlockedNs)
+    }
+}
+
+static COUNTERS: [AtomicU64; COUNTER_COUNT] = [const { AtomicU64::new(0) }; COUNTER_COUNT];
+
+/// Adds `n` to a counter. Disabled path: one atomic load and a branch.
+#[inline(always)]
+pub fn count(c: Counter, n: u64) {
+    if !enabled() {
+        return;
+    }
+    COUNTERS[c as usize].fetch_add(n, Ordering::Relaxed);
+}
+
+/// A point-in-time copy of every counter. Per-layer attribution is the
+/// [`CounterSnapshot::delta`] between two snapshots — exact under
+/// parallel workers because relaxed additions commute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    vals: [u64; COUNTER_COUNT],
+}
+
+impl CounterSnapshot {
+    /// The snapshotted value of one counter.
+    pub fn get(&self, c: Counter) -> u64 {
+        self.vals[c as usize]
+    }
+
+    /// Overwrites one counter value (summary construction and tests).
+    pub fn set(&mut self, c: Counter, v: u64) {
+        self.vals[c as usize] = v;
+    }
+
+    /// Element-wise `self - earlier` (saturating, so snapshots taken
+    /// across a [`reset`] degrade to zero instead of wrapping).
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterSnapshot {
+        let mut out = CounterSnapshot::default();
+        for i in 0..COUNTER_COUNT {
+            out.vals[i] = self.vals[i].saturating_sub(earlier.vals[i]);
+        }
+        out
+    }
+
+    /// True when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.vals.iter().all(|&v| v == 0)
+    }
+}
+
+/// Snapshots every counter (relaxed loads).
+pub fn counters() -> CounterSnapshot {
+    let mut snap = CounterSnapshot::default();
+    for (i, c) in COUNTERS.iter().enumerate() {
+        snap.vals[i] = c.load(Ordering::Relaxed);
+    }
+    snap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The trace substrate is process-global, so every test that toggles
+    // it runs under this lock (the workspace's integration tests live in
+    // separate processes and are unaffected).
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn guard() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = guard();
+        disable();
+        reset();
+        {
+            let _s = span(Cat::He, "noop");
+            instant(Cat::He, "marker");
+            gauge(Cat::Stream, "depth", 3);
+            count(Counter::Rotate, 5);
+        }
+        assert!(take_events().is_empty());
+        assert!(counters().is_zero());
+    }
+
+    #[test]
+    fn spans_nest_with_parent_ids() {
+        let _g = guard();
+        reset();
+        enable();
+        {
+            let outer = span(Cat::Session, "outer");
+            let outer_id = outer.id();
+            {
+                let inner = span(Cat::He, "inner").arg("bytes", 7);
+                assert_ne!(inner.id(), 0);
+            }
+            instant(Cat::He, "mark");
+            drop(outer);
+            assert_ne!(outer_id, 0);
+        }
+        disable();
+        let events = take_events();
+        assert_eq!(events.len(), 3);
+        let outer = events
+            .iter()
+            .find(|e| e.name.as_str() == "outer")
+            .expect("outer span");
+        let inner = events
+            .iter()
+            .find(|e| e.name.as_str() == "inner")
+            .expect("inner span");
+        let mark = events
+            .iter()
+            .find(|e| e.name.as_str() == "mark")
+            .expect("instant");
+        assert_eq!(inner.parent, outer.id);
+        assert_eq!(mark.parent, outer.id);
+        assert_eq!(inner.arg, Some(("bytes", 7)));
+        assert!(inner.ts_ns >= outer.ts_ns);
+        assert!(inner.end_ns() <= outer.end_ns());
+        assert!(matches!(outer.phase, Phase::Span { .. }));
+        reset();
+    }
+
+    #[test]
+    fn counter_snapshot_delta() {
+        let _g = guard();
+        reset();
+        enable();
+        let before = counters();
+        count(Counter::Rotate, 3);
+        count(Counter::TxBytes, 1000);
+        let mid = counters();
+        count(Counter::Rotate, 2);
+        let after = counters();
+        disable();
+        let d1 = mid.delta(&before);
+        assert_eq!(d1.get(Counter::Rotate), 3);
+        assert_eq!(d1.get(Counter::TxBytes), 1000);
+        assert_eq!(d1.get(Counter::NttFwd), 0);
+        let d2 = after.delta(&mid);
+        assert_eq!(d2.get(Counter::Rotate), 2);
+        assert_eq!(d2.get(Counter::TxBytes), 0);
+        // saturating: delta "backwards" is zero, not a wrap
+        assert_eq!(before.delta(&after).get(Counter::Rotate), 0);
+        reset();
+    }
+
+    #[test]
+    fn counter_names_cover_all_variants() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Counter::ALL {
+            assert!(seen.insert(c.name()), "duplicate name {}", c.name());
+        }
+        assert_eq!(seen.len(), COUNTER_COUNT);
+    }
+
+    #[test]
+    fn cross_thread_events_carry_distinct_tids() {
+        let _g = guard();
+        reset();
+        enable();
+        let main_tid = with_tls(|t| t.tid).unwrap();
+        std::thread::spawn(|| {
+            set_thread_label("worker-lane");
+            let _s = span(Cat::Stream, "worker-span");
+        })
+        .join()
+        .unwrap();
+        disable();
+        let events = take_events();
+        let worker = events
+            .iter()
+            .find(|e| e.name.as_str() == "worker-span")
+            .expect("worker span flushed on thread exit");
+        assert_ne!(worker.tid, main_tid);
+        assert!(thread_names()
+            .iter()
+            .any(|(tid, name)| *tid == worker.tid && name == "worker-lane"));
+        reset();
+    }
+}

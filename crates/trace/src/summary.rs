@@ -1,0 +1,214 @@
+//! Text summary exporter.
+//!
+//! Renders a recorded trace as plain-text tables: span aggregates
+//! grouped by (category, name), and a counter section covering HE ops,
+//! pool and queue activity, and per-direction wire traffic. This is
+//! the human-readable counterpart to the Chrome-trace JSON exporter
+//! and subsumes the ad-hoc stall/transfer dumps the binaries printed
+//! before the trace layer existed.
+
+use crate::{Counter, CounterSnapshot, Event, Phase};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Left-pads or right-pads cells into aligned columns under a header.
+fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: &[String], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            if i == 0 {
+                let _ = write!(out, "{cell:<width$}", width = widths[i]);
+            } else {
+                let _ = write!(out, "{cell:>width$}", width = widths[i]);
+            }
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    line(&head, &mut out);
+    let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(&rule, &mut out);
+    for row in rows {
+        line(row, &mut out);
+    }
+    out
+}
+
+/// Formats a nanosecond quantity as a human-scaled duration.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_count(n: u64) -> String {
+    n.to_string()
+}
+
+#[derive(Default)]
+struct SpanAgg {
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+/// Renders span aggregates and counters as a text report.
+///
+/// Spans are grouped by `(category, name)` with per-group call count,
+/// total, mean, and max duration, ordered by descending total time.
+/// Counters are printed in declaration order, omitting zero rows, with
+/// duration-valued counters rendered as time.
+pub fn text_summary(events: &[Event], counters: &CounterSnapshot) -> String {
+    let mut out = String::new();
+
+    let mut spans: BTreeMap<(&str, String), SpanAgg> = BTreeMap::new();
+    let mut instants: BTreeMap<(&str, String), u64> = BTreeMap::new();
+    for ev in events {
+        match ev.phase {
+            Phase::Span { dur_ns } => {
+                let agg = spans
+                    .entry((ev.cat.name(), ev.name.as_str().to_string()))
+                    .or_default();
+                agg.count += 1;
+                agg.total_ns += dur_ns;
+                agg.max_ns = agg.max_ns.max(dur_ns);
+            }
+            Phase::Instant => {
+                *instants
+                    .entry((ev.cat.name(), ev.name.as_str().to_string()))
+                    .or_default() += 1;
+            }
+            Phase::Gauge { .. } => {}
+        }
+    }
+
+    if !spans.is_empty() {
+        let mut rows: Vec<(&(&str, String), &SpanAgg)> = spans.iter().collect();
+        rows.sort_by(|a, b| b.1.total_ns.cmp(&a.1.total_ns).then(a.0.cmp(b.0)));
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|((cat, name), agg)| {
+                vec![
+                    format!("{cat}/{name}"),
+                    fmt_count(agg.count),
+                    fmt_ns(agg.total_ns),
+                    fmt_ns(agg.total_ns / agg.count.max(1)),
+                    fmt_ns(agg.max_ns),
+                ]
+            })
+            .collect();
+        out.push_str("spans (by total time)\n");
+        out.push_str(&render_table(
+            &["span", "count", "total", "mean", "max"],
+            &table,
+        ));
+    }
+
+    if !instants.is_empty() {
+        let table: Vec<Vec<String>> = instants
+            .iter()
+            .map(|((cat, name), n)| vec![format!("{cat}/{name}"), fmt_count(*n)])
+            .collect();
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("instant events\n");
+        out.push_str(&render_table(&["event", "count"], &table));
+    }
+
+    let counter_rows: Vec<Vec<String>> = Counter::ALL
+        .iter()
+        .filter(|c| counters.get(**c) != 0)
+        .map(|c| {
+            let v = counters.get(*c);
+            let shown = if c.is_nanos() {
+                fmt_ns(v)
+            } else {
+                fmt_count(v)
+            };
+            vec![c.name().to_string(), shown]
+        })
+        .collect();
+    if !counter_rows.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        out.push_str("counters\n");
+        out.push_str(&render_table(&["counter", "value"], &counter_rows));
+    }
+
+    if out.is_empty() {
+        out.push_str("(empty trace)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cat, Name};
+
+    fn span_ev(name: &'static str, dur: u64) -> Event {
+        Event {
+            name: Name::Static(name),
+            cat: Cat::Server,
+            ts_ns: 0,
+            tid: 1,
+            id: 1,
+            parent: 0,
+            arg: None,
+            phase: Phase::Span { dur_ns: dur },
+        }
+    }
+
+    #[test]
+    fn summary_aggregates_spans_and_counters() {
+        let events = vec![span_ev("conv", 2_000_000), span_ev("conv", 4_000_000)];
+        let mut counters = CounterSnapshot::default();
+        counters.set(Counter::NttFwd, 12);
+        counters.set(Counter::TxBlockedNs, 1_500_000);
+        let text = text_summary(&events, &counters);
+        assert!(text.contains("server/conv"), "{text}");
+        assert!(text.contains("2"), "{text}");
+        assert!(text.contains("6.00 ms"), "{text}");
+        assert!(text.contains("3.00 ms"), "{text}");
+        assert!(text.contains("ntt_fwd"), "{text}");
+        assert!(text.contains("1.50 ms"), "{text}");
+        // Zero counters are omitted.
+        assert!(!text.contains("key_switch"), "{text}");
+    }
+
+    #[test]
+    fn empty_trace_has_placeholder() {
+        let text = text_summary(&[], &CounterSnapshot::default());
+        assert_eq!(text, "(empty trace)\n");
+    }
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(120), "120 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 us");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+}
