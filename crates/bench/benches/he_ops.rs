@@ -73,6 +73,41 @@ fn bench_ntt(c: &mut Criterion, level: ParamLevel) {
     group.finish();
 }
 
+/// The kernel-dispatch hot loops below the NTT: pointwise residue-row
+/// multiply (the mult-plain core) and the two key-switch digit inner
+/// loops (Barrett lift into a foreign modulus, fused digit×ksk
+/// multiply-accumulate). Benchmarked per dispatched kernel table so
+/// `SPOT_SIMD=off cargo bench` vs `cargo bench` isolates the SIMD win.
+fn bench_kernel_loops(c: &mut Criterion, level: ParamLevel) {
+    let ctx = Context::new(EncryptionParams::new(level));
+    let n = ctx.degree();
+    let tables = &ctx.ntt_tables()[0];
+    let m = tables.modulus();
+    let p = m.value();
+    let a: Vec<u64> = (0..n as u64).map(|i| (i * 0x9e37_79b9 + 17) % p).collect();
+    let b_row: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % p).collect();
+    let kernels = spot_he::arch::kernels();
+
+    let mut group = c.benchmark_group(format!("kernels/{}/{level}", kernels.name));
+    group.sample_size(20);
+    group.bench_function("pointwise_mul", |b| {
+        let mut d = a.clone();
+        b.iter(|| (kernels.pointwise_mul)(m, &mut d, &b_row))
+    });
+    group.bench_function("keyswitch_digit_lift", |b| {
+        // The digit lift reduces a residue row into a *different* (here
+        // smaller) modulus, exactly like Evaluator::key_switch.
+        let small = spot_he::modulus::Modulus::new((1u64 << 30) - 35);
+        let mut d = vec![0u64; n];
+        b.iter(|| (kernels.reduce)(&small, &mut d, &a))
+    });
+    group.bench_function("keyswitch_digit_madd", |b| {
+        let mut acc = vec![0u64; n];
+        b.iter(|| (kernels.pointwise_add_mul)(m, &mut acc, &a, &b_row))
+    });
+    group.finish();
+}
+
 /// Steady-state cost of one lane-MIMO convolution with and without the
 /// NTT-domain kernel plaintext cache: the cached engine encodes and
 /// lifts each kernel combination once, the uncached engine re-encodes
@@ -175,6 +210,8 @@ fn he_ops(c: &mut Criterion) {
     bench_level(c, ParamLevel::N8192);
     bench_ntt(c, ParamLevel::N4096);
     bench_ntt(c, ParamLevel::N8192);
+    bench_kernel_loops(c, ParamLevel::N4096);
+    bench_kernel_loops(c, ParamLevel::N8192);
     bench_conv_cache(c);
     bench_executor_threads(c);
 }

@@ -1,0 +1,335 @@
+//! AVX2 backend: 4×64-bit lanes.
+//!
+//! x86_64 has no 64×64→128 vector multiply below AVX-512, so the
+//! `mul_lo`/`mul_hi` primitives are composed from `vpmuludq` 32×32→64
+//! partial products (the standard schoolbook split). Everything else is
+//! native 64-bit lane arithmetic; unsigned comparisons use the
+//! sign-bit-flip trick over the signed `vpcmpgtq`.
+//!
+//! The kernel bodies live in [`super::vec`]; this module only
+//! implements the lane primitives and the `#[target_feature(enable =
+//! "avx2")]` entry points. The `unsafe` obligations are exactly:
+//!
+//! 1. every intrinsic requires AVX2, which [`super::available`] proves
+//!    at runtime before this table can be selected, and
+//! 2. `load`/`store` pointer validity, guaranteed by the
+//!    `chunks_exact` iteration in the generic kernels.
+
+use super::{vec, vec::V64, Kernels};
+use crate::modulus::Modulus;
+use std::arch::x86_64::*;
+
+/// Four u64 lanes in one AVX2 register.
+#[derive(Copy, Clone)]
+struct W(__m256i);
+
+#[inline(always)]
+fn sign() -> __m256i {
+    // SAFETY: AVX2 is available whenever this backend runs (checked at
+    // dispatch time before the table is installed).
+    unsafe { _mm256_set1_epi64x(i64::MIN) }
+}
+
+/// Zero-cost optimization barrier: emits no instructions but hides the
+/// value's producer from LLVM. Without it, the combiner recognizes the
+/// `mul_hi` schoolbook partial products as a 64-bit vector mulhi and —
+/// AVX2 having no such instruction — *scalarizes* it into four
+/// `vpextrq`/`mul`/`vinserti128` round trips, which measures ~35%
+/// slower than the vpmuludq form it replaced (seen on the inverse-NTT
+/// butterfly; the forward butterfly happened to escape the fold).
+/// # Safety
+/// Requires AVX2 (the `ymm_reg` operand class), which every caller in
+/// this module guarantees via the dispatch-time feature check.
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn opaque(v: __m256i) -> __m256i {
+    let mut v = v;
+    // SAFETY: comment-only asm template; emits no instructions and only
+    // pins the value to a ymm register.
+    unsafe {
+        std::arch::asm!(
+            "/* {0} */",
+            inout(ymm_reg) v,
+            options(pure, nomem, nostack, preserves_flags)
+        );
+    }
+    v
+}
+
+/// All-ones mask per lane where `a < b` (unsigned).
+#[inline(always)]
+fn lt_u64(a: __m256i, b: __m256i) -> __m256i {
+    // SAFETY: AVX2 checked at dispatch time.
+    unsafe {
+        let s = sign();
+        _mm256_cmpgt_epi64(_mm256_xor_si256(b, s), _mm256_xor_si256(a, s))
+    }
+}
+
+impl V64 for W {
+    const LANES: usize = 4;
+
+    #[inline(always)]
+    unsafe fn load(ptr: *const u64) -> Self {
+        // SAFETY: caller guarantees 4 readable u64s; loadu has no
+        // alignment requirement. AVX2 checked at dispatch time.
+        W(unsafe { _mm256_loadu_si256(ptr as *const __m256i) })
+    }
+
+    #[inline(always)]
+    unsafe fn store(self, ptr: *mut u64) {
+        // SAFETY: caller guarantees 4 writable u64s; storeu has no
+        // alignment requirement. AVX2 checked at dispatch time.
+        unsafe { _mm256_storeu_si256(ptr as *mut __m256i, self.0) }
+    }
+
+    #[inline(always)]
+    fn splat(x: u64) -> Self {
+        // SAFETY: AVX2 checked at dispatch time.
+        W(unsafe { _mm256_set1_epi64x(x as i64) })
+    }
+
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        // SAFETY: AVX2 checked at dispatch time.
+        W(unsafe { _mm256_add_epi64(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        // SAFETY: AVX2 checked at dispatch time.
+        W(unsafe { _mm256_sub_epi64(self.0, o.0) })
+    }
+
+    #[inline(always)]
+    fn mul_lo(self, o: Self) -> Self {
+        // SAFETY: AVX2 checked at dispatch time.
+        unsafe {
+            // vpmuludq reads the low 32 bits of each 64-bit lane.
+            let ll = _mm256_mul_epu32(self.0, o.0);
+            let lh = _mm256_mul_epu32(self.0, _mm256_srli_epi64(o.0, 32));
+            let hl = _mm256_mul_epu32(_mm256_srli_epi64(self.0, 32), o.0);
+            let cross = _mm256_add_epi64(lh, hl);
+            W(_mm256_add_epi64(ll, _mm256_slli_epi64(cross, 32)))
+        }
+    }
+
+    #[inline(always)]
+    fn mul_hi(self, o: Self) -> Self {
+        // SAFETY: AVX2 checked at dispatch time.
+        unsafe {
+            let a_hi = _mm256_srli_epi64(self.0, 32);
+            let b_hi = _mm256_srli_epi64(o.0, 32);
+            let ll = _mm256_mul_epu32(self.0, o.0);
+            let lh = _mm256_mul_epu32(self.0, b_hi);
+            let hl = _mm256_mul_epu32(a_hi, o.0);
+            // SAFETY: AVX2 checked at dispatch time (see `opaque`).
+            let hh = opaque(_mm256_mul_epu32(a_hi, b_hi));
+            let m32 = _mm256_set1_epi64x(0xFFFF_FFFF);
+            // mid ≤ 3·(2^32 − 1) — no lane overflow.
+            let mid = _mm256_add_epi64(
+                _mm256_add_epi64(_mm256_srli_epi64(ll, 32), _mm256_and_si256(lh, m32)),
+                _mm256_and_si256(hl, m32),
+            );
+            W(_mm256_add_epi64(
+                _mm256_add_epi64(hh, _mm256_srli_epi64(lh, 32)),
+                _mm256_add_epi64(_mm256_srli_epi64(hl, 32), _mm256_srli_epi64(mid, 32)),
+            ))
+        }
+    }
+
+    #[inline(always)]
+    fn mul_wide(self, o: Self) -> (Self, Self) {
+        // SAFETY: AVX2 checked at dispatch time.
+        unsafe {
+            // Shares the four 32×32 partial products between both halves.
+            let a_hi = _mm256_srli_epi64(self.0, 32);
+            let b_hi = _mm256_srli_epi64(o.0, 32);
+            let ll = _mm256_mul_epu32(self.0, o.0);
+            let lh = _mm256_mul_epu32(self.0, b_hi);
+            let hl = _mm256_mul_epu32(a_hi, o.0);
+            let hh = _mm256_mul_epu32(a_hi, b_hi);
+            let m32 = _mm256_set1_epi64x(0xFFFF_FFFF);
+            let mid = _mm256_add_epi64(
+                _mm256_add_epi64(_mm256_srli_epi64(ll, 32), _mm256_and_si256(lh, m32)),
+                _mm256_and_si256(hl, m32),
+            );
+            let hi = _mm256_add_epi64(
+                _mm256_add_epi64(hh, _mm256_srli_epi64(lh, 32)),
+                _mm256_add_epi64(_mm256_srli_epi64(hl, 32), _mm256_srli_epi64(mid, 32)),
+            );
+            let cross = _mm256_add_epi64(lh, hl);
+            let lo = _mm256_add_epi64(ll, _mm256_slli_epi64(cross, 32));
+            (W(hi), W(lo))
+        }
+    }
+
+    #[inline(always)]
+    fn cond_sub(self, m: Self) -> Self {
+        // SAFETY: AVX2 checked at dispatch time.
+        unsafe {
+            // t = self - m is negative as i64 exactly when self < m
+            // (using the trait contract m < 2^63, self < m + 2^63), so
+            // one signed compare against zero replaces the sign-flipped
+            // unsigned compare: add m back in the underflowed lanes.
+            let t = _mm256_sub_epi64(self.0, m.0);
+            let under = _mm256_cmpgt_epi64(_mm256_setzero_si256(), t);
+            W(_mm256_add_epi64(t, _mm256_and_si256(under, m.0)))
+        }
+    }
+
+    #[inline(always)]
+    fn deinterleave_pairs(self, o: Self) -> (Self, Self) {
+        // SAFETY: AVX2 checked at dispatch time.
+        unsafe {
+            // unpck interleaves within 128-bit halves: lo = [a0 b0 a2 b2],
+            // hi = [a1 b1 a3 b3]; the 0xD8 permute ([q0 q2 q1 q3]) then
+            // straightens them into [a0 a2 b0 b2] / [a1 a3 b1 b3].
+            let lo = _mm256_unpacklo_epi64(self.0, o.0);
+            let hi = _mm256_unpackhi_epi64(self.0, o.0);
+            (
+                W(_mm256_permute4x64_epi64::<0xD8>(lo)),
+                W(_mm256_permute4x64_epi64::<0xD8>(hi)),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn interleave_pairs(self, o: Self) -> (Self, Self) {
+        // SAFETY: AVX2 checked at dispatch time.
+        unsafe {
+            // Inverse of deinterleave_pairs: pre-permute each input to
+            // [q0 q2 q1 q3], then unpck recombines adjacent pairs.
+            let e = _mm256_permute4x64_epi64::<0xD8>(self.0);
+            let d = _mm256_permute4x64_epi64::<0xD8>(o.0);
+            (
+                W(_mm256_unpacklo_epi64(e, d)),
+                W(_mm256_unpackhi_epi64(e, d)),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn deinterleave_quads(self, o: Self) -> (Self, Self) {
+        // SAFETY: AVX2 checked at dispatch time.
+        unsafe {
+            // Gather the low 128-bit halves into one register and the
+            // high halves into the other.
+            (
+                W(_mm256_permute2x128_si256::<0x20>(self.0, o.0)),
+                W(_mm256_permute2x128_si256::<0x31>(self.0, o.0)),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn interleave_quads(self, o: Self) -> (Self, Self) {
+        // SAFETY: AVX2 checked at dispatch time.
+        unsafe {
+            // Self-inverse permutation pair: same shuffles as
+            // deinterleave_quads.
+            (
+                W(_mm256_permute2x128_si256::<0x20>(self.0, o.0)),
+                W(_mm256_permute2x128_si256::<0x31>(self.0, o.0)),
+            )
+        }
+    }
+
+    #[inline(always)]
+    fn add_nonzero_bit(self, o: Self) -> Self {
+        // SAFETY: AVX2 checked at dispatch time.
+        unsafe {
+            let zero_mask = _mm256_cmpeq_epi64(o.0, _mm256_setzero_si256());
+            let bit = _mm256_andnot_si256(zero_mask, _mm256_set1_epi64x(1));
+            W(_mm256_add_epi64(self.0, bit))
+        }
+    }
+
+    #[inline(always)]
+    fn add_with_carry(self, o: Self) -> (Self, Self) {
+        // SAFETY: AVX2 checked at dispatch time.
+        unsafe {
+            let sum = _mm256_add_epi64(self.0, o.0);
+            // Unsigned overflow iff sum < either addend.
+            let carry = _mm256_srli_epi64(lt_u64(sum, self.0), 63);
+            (W(sum), W(carry))
+        }
+    }
+}
+
+macro_rules! avx2_kernel {
+    ($wrapper:ident, $impl_fn:ident, $generic:ident, ($($arg:ident : $ty:ty),*)) => {
+        #[target_feature(enable = "avx2")]
+        unsafe fn $impl_fn($($arg: $ty),*) {
+            vec::$generic::<W>($($arg),*)
+        }
+        fn $wrapper($($arg: $ty),*) {
+            // SAFETY: this kernel table is only installed after
+            // `is_x86_feature_detected!("avx2")` returned true.
+            unsafe { $impl_fn($($arg),*) }
+        }
+    };
+}
+
+avx2_kernel!(
+    ntt_forward,
+    ntt_forward_impl,
+    ntt_forward_v,
+    (m: &Modulus, roots: &[u64], roots_shoup: &[u64], a: &mut [u64])
+);
+avx2_kernel!(
+    ntt_inverse,
+    ntt_inverse_impl,
+    ntt_inverse_v,
+    (m: &Modulus, roots: &[u64], roots_shoup: &[u64], inv_degree: u64,
+     inv_degree_shoup: u64, a: &mut [u64])
+);
+avx2_kernel!(
+    pointwise_mul,
+    pointwise_mul_impl,
+    pointwise_mul_v,
+    (m: &Modulus, dst: &mut [u64], src: &[u64])
+);
+avx2_kernel!(
+    pointwise_add_mul,
+    pointwise_add_mul_impl,
+    pointwise_add_mul_v,
+    (m: &Modulus, dst: &mut [u64], a: &[u64], b: &[u64])
+);
+avx2_kernel!(
+    pointwise_add,
+    pointwise_add_impl,
+    pointwise_add_v,
+    (m: &Modulus, dst: &mut [u64], src: &[u64])
+);
+avx2_kernel!(
+    pointwise_sub,
+    pointwise_sub_impl,
+    pointwise_sub_v,
+    (m: &Modulus, dst: &mut [u64], src: &[u64])
+);
+avx2_kernel!(
+    mul_scalar,
+    mul_scalar_impl,
+    mul_scalar_v,
+    (m: &Modulus, dst: &mut [u64], scalar_val: u64, shoup: u64)
+);
+avx2_kernel!(
+    reduce,
+    reduce_impl,
+    reduce_v,
+    (m: &Modulus, dst: &mut [u64], src: &[u64])
+);
+
+/// The AVX2 kernel table (install only after runtime detection).
+pub static KERNELS: Kernels = Kernels {
+    name: "avx2",
+    ntt_forward,
+    ntt_inverse,
+    pointwise_mul,
+    pointwise_add_mul,
+    pointwise_add,
+    pointwise_sub,
+    mul_scalar,
+    reduce,
+};

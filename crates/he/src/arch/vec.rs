@@ -1,0 +1,567 @@
+//! ISA-generic vector kernels.
+//!
+//! The hot loops are written **once** here, generically over the
+//! minimal [`V64`] lane trait (a handful of 64-bit lane primitives);
+//! `avx2.rs` / `neon.rs` only implement those primitives and wrap the
+//! generic kernels in `#[target_feature]` entry points. Everything is
+//! `#[inline(always)]` so that each instantiation is compiled inside
+//! its backend's `#[target_feature]` wrapper and picks up the wider
+//! instruction set.
+//!
+//! ## Arithmetic strategy
+//!
+//! * **NTT butterflies** use the same lazy Shoup form as the scalar
+//!   path (values in `[0, 4p)` forward / `[0, 2p)` inverse); the Shoup
+//!   multiply vectorizes as one 64×64 high product and two low
+//!   products. Stages whose group half-length is below the lane width
+//!   fall back to the scalar butterfly helpers — same math, same
+//!   intermediate values.
+//! * **Pointwise products** have no precomputed per-element Shoup
+//!   constant, so the scalar path's 128-bit Barrett would need four
+//!   high products per element. Instead the vector path lifts one
+//!   operand into Montgomery form with a single Shoup multiply by
+//!   `2^64 mod p` (a per-modulus constant) and reduces the wide product
+//!   with one Montgomery REDC. The result is the canonical `[0, p)`
+//!   residue, hence bit-identical to scalar Barrett.
+//! * **Digit reduction** (`x mod p` for full-range `x`) vectorizes the
+//!   scalar Barrett quotient exactly (same `q`, same conditional
+//!   subtraction), so even the pre-reduction values match.
+//!
+//! Bounds used below (all enforced by `Modulus::new`): `p < 2^62`, so
+//! `4p < 2^64` and every `u + 2p - v` stays inside u64.
+
+use super::scalar;
+use crate::modulus::Modulus;
+
+/// Minimal 64-bit-lane SIMD vector interface.
+///
+/// Implementations must be lane-wise and wrapping (mod 2^64) where the
+/// scalar counterpart wraps. `load`/`store` contracts: the pointer must
+/// be valid for `LANES` u64 reads/writes (no alignment requirement).
+pub(crate) trait V64: Copy {
+    /// Lane count (a power of two).
+    const LANES: usize;
+    /// Loads `LANES` consecutive u64 values.
+    ///
+    /// # Safety
+    /// `ptr` must be valid for reading `LANES` u64s.
+    unsafe fn load(ptr: *const u64) -> Self;
+    /// Stores `LANES` consecutive u64 values.
+    ///
+    /// # Safety
+    /// `ptr` must be valid for writing `LANES` u64s.
+    unsafe fn store(self, ptr: *mut u64);
+    /// Broadcasts one value to every lane.
+    fn splat(x: u64) -> Self;
+    /// Lane-wise wrapping addition.
+    fn add(self, o: Self) -> Self;
+    /// Lane-wise wrapping subtraction.
+    fn sub(self, o: Self) -> Self;
+    /// Lane-wise low 64 bits of the 128-bit product.
+    fn mul_lo(self, o: Self) -> Self;
+    /// Lane-wise high 64 bits of the 128-bit product.
+    fn mul_hi(self, o: Self) -> Self;
+    /// Lane-wise full product as `(high, low)`. Backends may override
+    /// to share the 32-bit partial products of both halves.
+    #[inline(always)]
+    fn mul_wide(self, o: Self) -> (Self, Self) {
+        (self.mul_hi(o), self.mul_lo(o))
+    }
+    /// Lane-wise `if self >= m { self - m } else { self }`.
+    ///
+    /// Contract (narrower than full unsigned compare, which lets
+    /// backends use a signed sign-bit test): requires `m < 2^63` and
+    /// `self < m + 2^63`. Every call site here satisfies this because
+    /// `p < 2^62`, so even the widest intermediate (`[0, 4p)` against
+    /// `2p`) fits.
+    fn cond_sub(self, m: Self) -> Self;
+    /// Lane-wise `self + (o != 0 ? 1 : 0)` (the REDC low-half carry).
+    fn add_nonzero_bit(self, o: Self) -> Self;
+    /// Lane-wise `(self + o mod 2^64, carry ∈ {0, 1})`.
+    fn add_with_carry(self, o: Self) -> (Self, Self);
+    /// Splits two registers holding `2*LANES` consecutive values
+    /// `(x0, y0, x1, y1, …)` into `(evens, odds)`: `(x0, x1, …)` and
+    /// `(y0, y1, …)`. Used by the `t = 1` NTT tail stage.
+    fn deinterleave_pairs(self, o: Self) -> (Self, Self);
+    /// Inverse of [`V64::deinterleave_pairs`]: merges `(x0, x1, …)` and
+    /// `(y0, y1, …)` back into `(x0, y0, x1, y1)` / `(x2, y2, x3, y3)`.
+    fn interleave_pairs(self, o: Self) -> (Self, Self);
+    /// Splits two registers holding `2*LANES` consecutive values
+    /// `(x0, x1, y0, y1, x2, x3, y2, y3)` at 128-bit granularity into
+    /// `(x0, x1, x2, x3)` and `(y0, y1, y2, y3)`. Used by the `t = 2`
+    /// NTT tail stage, which only runs when `LANES == 4`; 2-lane
+    /// backends never call it and keep this default.
+    fn deinterleave_quads(self, o: Self) -> (Self, Self) {
+        let _ = o;
+        unreachable!("quad shuffles are only used by 4-lane backends")
+    }
+    /// Inverse of [`V64::deinterleave_quads`].
+    fn interleave_quads(self, o: Self) -> (Self, Self) {
+        let _ = o;
+        unreachable!("quad shuffles are only used by 4-lane backends")
+    }
+}
+
+/// Lazy Shoup multiply: `x * w mod p`, result in `[0, 2p)`; valid for
+/// any `x` as long as `w < p` (mirrors `Modulus::mul_shoup_lazy`).
+#[inline(always)]
+fn mul_shoup_lazy_v<T: V64>(x: T, w: T, ws: T, p: T) -> T {
+    let q = x.mul_hi(ws);
+    x.mul_lo(w).sub(q.mul_lo(p))
+}
+
+/// Montgomery product step shared by the pointwise kernels:
+/// `a * b mod p` as the canonical `[0, p)` residue, for `a` arbitrary
+/// and `b < p`. Lifts `a` by `2^64 mod p` (Shoup), REDCs the wide
+/// product back down, and fully reduces.
+#[inline(always)]
+fn mont_mul_v<T: V64>(a: T, b: T, p: T, rp: T, rps: T, neg_inv: T) -> T {
+    let am = mul_shoup_lazy_v(a, rp, rps, p); // [0, 2p), ≡ a·2^64 (mod p)
+    let (hi, lo) = am.mul_wide(b); // am·b < 2p² < p·2^64
+    let m = lo.mul_lo(neg_inv);
+    // t = (am·b + m·p) / 2^64: the low halves cancel exactly, carrying
+    // 1 into the high half iff the low half was non-zero.
+    let t = hi.add(m.mul_hi(p)).add_nonzero_bit(lo); // [0, 2p)
+    t.cond_sub(p)
+}
+
+/// Vectorized `t = 1` stage: butterflies on adjacent element pairs with
+/// one distinct twiddle per pair (twiddles are contiguous in the stage
+/// slice, so they vector-load directly). `FWD` selects the butterfly
+/// direction. Requires `a.len() >= 2 * LANES`.
+#[inline(always)]
+fn tail_stage_t1<T: V64, const FWD: bool>(
+    stage_roots: &[u64],
+    stage_shoup: &[u64],
+    a: &mut [u64],
+    p_v: T,
+    two_p_v: T,
+) {
+    let n = a.len();
+    debug_assert_eq!(stage_roots.len(), n / 2);
+    let mut g = 0; // group index; group g owns elements (2g, 2g + 1)
+    while 2 * g < n {
+        // SAFETY: 2g + 2*LANES <= n (n and LANES are powers of two and
+        // n >= 2*LANES), and g + LANES <= n/2 = stage slice length.
+        unsafe {
+            let base = a.as_mut_ptr().add(2 * g);
+            let v0 = T::load(base);
+            let v1 = T::load(base.add(T::LANES));
+            let (x, y) = v0.deinterleave_pairs(v1);
+            let w_v = T::load(stage_roots.as_ptr().add(g));
+            let ws_v = T::load(stage_shoup.as_ptr().add(g));
+            let (rx, ry) = if FWD {
+                let u = x.cond_sub(two_p_v); // [0, 2p)
+                let v = mul_shoup_lazy_v(y, w_v, ws_v, p_v);
+                (u.add(v), u.add(two_p_v).sub(v)) // [0, 4p)
+            } else {
+                // x, y in [0, 2p).
+                (
+                    x.add(y).cond_sub(two_p_v),
+                    mul_shoup_lazy_v(x.add(two_p_v).sub(y), w_v, ws_v, p_v),
+                )
+            };
+            let (r0, r1) = rx.interleave_pairs(ry);
+            r0.store(base);
+            r1.store(base.add(T::LANES));
+        }
+        g += T::LANES;
+    }
+}
+
+/// Vectorized `t = 2` stage for 4-lane backends: each 8-element block
+/// holds two groups `(x0, x1, y0, y1)`, split with 128-bit shuffles;
+/// each group's twiddle is duplicated across its two lanes. Requires
+/// `LANES == 4` and `a.len() >= 8`.
+#[inline(always)]
+fn tail_stage_t2<T: V64, const FWD: bool>(
+    stage_roots: &[u64],
+    stage_shoup: &[u64],
+    a: &mut [u64],
+    p_v: T,
+    two_p_v: T,
+) {
+    let n = a.len();
+    debug_assert_eq!(T::LANES, 4);
+    debug_assert_eq!(stage_roots.len(), n / 4);
+    let mut g = 0; // group index; group g owns elements (4g .. 4g + 4)
+    while 4 * g < n {
+        let tw = [
+            stage_roots[g],
+            stage_roots[g],
+            stage_roots[g + 1],
+            stage_roots[g + 1],
+        ];
+        let tws = [
+            stage_shoup[g],
+            stage_shoup[g],
+            stage_shoup[g + 1],
+            stage_shoup[g + 1],
+        ];
+        // SAFETY: 4g + 8 <= n (n >= 8 and both are powers of two), and
+        // the tw/tws arrays hold LANES == 4 elements.
+        unsafe {
+            let base = a.as_mut_ptr().add(4 * g);
+            let v0 = T::load(base);
+            let v1 = T::load(base.add(T::LANES));
+            let (x, y) = v0.deinterleave_quads(v1);
+            let w_v = T::load(tw.as_ptr());
+            let ws_v = T::load(tws.as_ptr());
+            let (rx, ry) = if FWD {
+                let u = x.cond_sub(two_p_v);
+                let v = mul_shoup_lazy_v(y, w_v, ws_v, p_v);
+                (u.add(v), u.add(two_p_v).sub(v))
+            } else {
+                (
+                    x.add(y).cond_sub(two_p_v),
+                    mul_shoup_lazy_v(x.add(two_p_v).sub(y), w_v, ws_v, p_v),
+                )
+            };
+            let (r0, r1) = rx.interleave_quads(ry);
+            r0.store(base);
+            r1.store(base.add(T::LANES));
+        }
+        g += 2;
+    }
+}
+
+#[inline(always)]
+pub(crate) fn ntt_forward_v<T: V64>(
+    m: &Modulus,
+    roots: &[u64],
+    roots_shoup: &[u64],
+    a: &mut [u64],
+) {
+    let p = m.value();
+    let two_p = 2 * p;
+    let p_v = T::splat(p);
+    let two_p_v = T::splat(two_p);
+    let n = a.len();
+    debug_assert!(n.is_power_of_two());
+    let mut t = n;
+    let mut size = 1usize;
+    while size < n {
+        t >>= 1;
+        let stage_roots = &roots[size..2 * size];
+        let stage_shoup = &roots_shoup[size..2 * size];
+        if t >= T::LANES {
+            for i in 0..size {
+                let w_v = T::splat(stage_roots[i]);
+                let ws_v = T::splat(stage_shoup[i]);
+                let (lo, hi) = a[2 * i * t..2 * i * t + 2 * t].split_at_mut(t);
+                // t and LANES are powers of two, so the chunks are exact.
+                for (xc, yc) in lo
+                    .chunks_exact_mut(T::LANES)
+                    .zip(hi.chunks_exact_mut(T::LANES))
+                {
+                    // SAFETY: chunks_exact guarantees both chunks hold
+                    // exactly LANES u64s.
+                    unsafe {
+                        let u = T::load(xc.as_ptr()).cond_sub(two_p_v); // [0, 2p)
+                        let v = mul_shoup_lazy_v(T::load(yc.as_ptr()), w_v, ws_v, p_v);
+                        u.add(v).store(xc.as_mut_ptr()); // [0, 4p)
+                        u.add(two_p_v).sub(v).store(yc.as_mut_ptr()); // (0, 4p)
+                    }
+                }
+            }
+        } else if t == 1 && n >= 2 * T::LANES {
+            tail_stage_t1::<T, true>(stage_roots, stage_shoup, a, p_v, two_p_v);
+        } else if t == 2 && T::LANES == 4 && n >= 2 * T::LANES {
+            tail_stage_t2::<T, true>(stage_roots, stage_shoup, a, p_v, two_p_v);
+        } else {
+            for i in 0..size {
+                let w = stage_roots[i];
+                let ws = stage_shoup[i];
+                let (lo, hi) = a[2 * i * t..2 * i * t + 2 * t].split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    scalar::fwd_butterfly(m, x, y, w, ws, two_p);
+                }
+            }
+        }
+        size <<= 1;
+    }
+    // Single full-reduction pass: [0, 4p) -> [0, p).
+    let split = n - n % T::LANES;
+    let (main, rest) = a.split_at_mut(split);
+    for chunk in main.chunks_exact_mut(T::LANES) {
+        // SAFETY: chunks_exact guarantees LANES u64s.
+        unsafe {
+            T::load(chunk.as_ptr())
+                .cond_sub(two_p_v)
+                .cond_sub(p_v)
+                .store(chunk.as_mut_ptr());
+        }
+    }
+    for x in rest.iter_mut() {
+        *x = scalar::reduce_4p(p, two_p, *x);
+    }
+}
+
+/// One vector-width inverse butterfly at `xp`/`yp`.
+///
+/// # Safety
+/// Both pointers must be valid for `T::LANES` u64 reads and writes.
+#[inline(always)]
+unsafe fn inv_butterfly_chunk<T: V64>(
+    xp: *mut u64,
+    yp: *mut u64,
+    w_v: T,
+    ws_v: T,
+    p_v: T,
+    two_p_v: T,
+) {
+    // SAFETY: forwarded to the caller.
+    unsafe {
+        let u = T::load(xp);
+        let v = T::load(yp);
+        // u, v in [0, 2p).
+        u.add(v).cond_sub(two_p_v).store(xp); // [0, 2p)
+        mul_shoup_lazy_v(u.add(two_p_v).sub(v), w_v, ws_v, p_v).store(yp); // [0, 2p)
+    }
+}
+
+#[inline(always)]
+pub(crate) fn ntt_inverse_v<T: V64>(
+    m: &Modulus,
+    roots: &[u64],
+    roots_shoup: &[u64],
+    inv_degree: u64,
+    inv_degree_shoup: u64,
+    a: &mut [u64],
+) {
+    let p = m.value();
+    let two_p = 2 * p;
+    let p_v = T::splat(p);
+    let two_p_v = T::splat(two_p);
+    let n = a.len();
+    debug_assert!(n.is_power_of_two());
+    let mut t = 1usize;
+    let mut size = n >> 1;
+    while size >= 1 {
+        let stage_roots = &roots[size..2 * size];
+        let stage_shoup = &roots_shoup[size..2 * size];
+        if t >= T::LANES {
+            for i in 0..size {
+                let w_v = T::splat(stage_roots[i]);
+                let ws_v = T::splat(stage_shoup[i]);
+                let (lo, hi) = a[2 * i * t..2 * i * t + 2 * t].split_at_mut(t);
+                // Manual 4× unroll: four independent chunk chains per
+                // iteration hide the Shoup multiply's latency (LLVM
+                // unrolls the forward stage loop on its own but leaves
+                // this one rolled, which measures ~25% slower).
+                let xp = lo.as_mut_ptr();
+                let yp = hi.as_mut_ptr();
+                let chunks = t / T::LANES; // exact: both are powers of two
+                let mut c = 0;
+                while c + 4 <= chunks {
+                    // SAFETY: (c + 3) * LANES + LANES <= t, so every
+                    // pointer stays within the t-element halves.
+                    unsafe {
+                        for j in c..c + 4 {
+                            inv_butterfly_chunk(
+                                xp.add(j * T::LANES),
+                                yp.add(j * T::LANES),
+                                w_v,
+                                ws_v,
+                                p_v,
+                                two_p_v,
+                            );
+                        }
+                    }
+                    c += 4;
+                }
+                while c < chunks {
+                    // SAFETY: c * LANES + LANES <= t.
+                    unsafe {
+                        inv_butterfly_chunk(
+                            xp.add(c * T::LANES),
+                            yp.add(c * T::LANES),
+                            w_v,
+                            ws_v,
+                            p_v,
+                            two_p_v,
+                        );
+                    }
+                    c += 1;
+                }
+            }
+        } else if t == 1 && n >= 2 * T::LANES {
+            tail_stage_t1::<T, false>(stage_roots, stage_shoup, a, p_v, two_p_v);
+        } else if t == 2 && T::LANES == 4 && n >= 2 * T::LANES {
+            tail_stage_t2::<T, false>(stage_roots, stage_shoup, a, p_v, two_p_v);
+        } else {
+            for i in 0..size {
+                let w = stage_roots[i];
+                let ws = stage_shoup[i];
+                let (lo, hi) = a[2 * i * t..2 * i * t + 2 * t].split_at_mut(t);
+                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
+                    scalar::inv_butterfly(m, x, y, w, ws, two_p);
+                }
+            }
+        }
+        t <<= 1;
+        size >>= 1;
+    }
+    // N^{-1} scaling doubles as the final full reduction to [0, p).
+    let w_v = T::splat(inv_degree);
+    let ws_v = T::splat(inv_degree_shoup);
+    let split = n - n % T::LANES;
+    let (main, rest) = a.split_at_mut(split);
+    for chunk in main.chunks_exact_mut(T::LANES) {
+        // SAFETY: chunks_exact guarantees LANES u64s.
+        unsafe {
+            mul_shoup_lazy_v(T::load(chunk.as_ptr()), w_v, ws_v, p_v)
+                .cond_sub(p_v)
+                .store(chunk.as_mut_ptr());
+        }
+    }
+    for x in rest.iter_mut() {
+        *x = m.mul_shoup(*x, inv_degree, inv_degree_shoup);
+    }
+}
+
+#[inline(always)]
+pub(crate) fn pointwise_mul_v<T: V64>(m: &Modulus, dst: &mut [u64], src: &[u64]) {
+    let (neg_inv, rp, rps) = m.montgomery();
+    if m.value() & 1 == 0 {
+        // Montgomery needs an odd modulus; every BFV modulus is an odd
+        // prime, but stay total for exotic callers.
+        return scalar::pointwise_mul(m, dst, src);
+    }
+    let p_v = T::splat(m.value());
+    let rp_v = T::splat(rp);
+    let rps_v = T::splat(rps);
+    let neg_inv_v = T::splat(neg_inv);
+    let split = dst.len() - dst.len() % T::LANES;
+    let (main, rest) = dst.split_at_mut(split);
+    for (dc, sc) in main
+        .chunks_exact_mut(T::LANES)
+        .zip(src.chunks_exact(T::LANES))
+    {
+        // SAFETY: chunks_exact guarantees both chunks hold LANES u64s.
+        unsafe {
+            let a = T::load(dc.as_ptr());
+            let b = T::load(sc.as_ptr());
+            mont_mul_v(a, b, p_v, rp_v, rps_v, neg_inv_v).store(dc.as_mut_ptr());
+        }
+    }
+    scalar::pointwise_mul(m, rest, &src[split..]);
+}
+
+#[inline(always)]
+pub(crate) fn pointwise_add_mul_v<T: V64>(m: &Modulus, dst: &mut [u64], a: &[u64], b: &[u64]) {
+    let (neg_inv, rp, rps) = m.montgomery();
+    if m.value() & 1 == 0 {
+        return scalar::pointwise_add_mul(m, dst, a, b);
+    }
+    let p_v = T::splat(m.value());
+    let rp_v = T::splat(rp);
+    let rps_v = T::splat(rps);
+    let neg_inv_v = T::splat(neg_inv);
+    let split = dst.len() - dst.len() % T::LANES;
+    let (main, rest) = dst.split_at_mut(split);
+    for ((dc, ac), bc) in main
+        .chunks_exact_mut(T::LANES)
+        .zip(a.chunks_exact(T::LANES))
+        .zip(b.chunks_exact(T::LANES))
+    {
+        // SAFETY: chunks_exact guarantees all chunks hold LANES u64s.
+        unsafe {
+            let d = T::load(dc.as_ptr());
+            let x = T::load(ac.as_ptr());
+            let y = T::load(bc.as_ptr());
+            let prod = mont_mul_v(x, y, p_v, rp_v, rps_v, neg_inv_v); // [0, p)
+            d.add(prod).cond_sub(p_v).store(dc.as_mut_ptr());
+        }
+    }
+    scalar::pointwise_add_mul(m, rest, &a[split..], &b[split..]);
+}
+
+#[inline(always)]
+pub(crate) fn pointwise_add_v<T: V64>(m: &Modulus, dst: &mut [u64], src: &[u64]) {
+    let p_v = T::splat(m.value());
+    let split = dst.len() - dst.len() % T::LANES;
+    let (main, rest) = dst.split_at_mut(split);
+    for (dc, sc) in main
+        .chunks_exact_mut(T::LANES)
+        .zip(src.chunks_exact(T::LANES))
+    {
+        // SAFETY: chunks_exact guarantees both chunks hold LANES u64s.
+        unsafe {
+            T::load(dc.as_ptr())
+                .add(T::load(sc.as_ptr()))
+                .cond_sub(p_v)
+                .store(dc.as_mut_ptr());
+        }
+    }
+    scalar::pointwise_add(m, rest, &src[split..]);
+}
+
+#[inline(always)]
+pub(crate) fn pointwise_sub_v<T: V64>(m: &Modulus, dst: &mut [u64], src: &[u64]) {
+    let p_v = T::splat(m.value());
+    let split = dst.len() - dst.len() % T::LANES;
+    let (main, rest) = dst.split_at_mut(split);
+    for (dc, sc) in main
+        .chunks_exact_mut(T::LANES)
+        .zip(src.chunks_exact(T::LANES))
+    {
+        // SAFETY: chunks_exact guarantees both chunks hold LANES u64s.
+        unsafe {
+            // d + p - s ∈ (0, 2p) for reduced inputs; one cond-sub
+            // lands on the canonical residue.
+            T::load(dc.as_ptr())
+                .add(p_v)
+                .sub(T::load(sc.as_ptr()))
+                .cond_sub(p_v)
+                .store(dc.as_mut_ptr());
+        }
+    }
+    scalar::pointwise_sub(m, rest, &src[split..]);
+}
+
+#[inline(always)]
+pub(crate) fn mul_scalar_v<T: V64>(m: &Modulus, dst: &mut [u64], scalar_val: u64, shoup: u64) {
+    let p_v = T::splat(m.value());
+    let w_v = T::splat(scalar_val);
+    let ws_v = T::splat(shoup);
+    let split = dst.len() - dst.len() % T::LANES;
+    let (main, rest) = dst.split_at_mut(split);
+    for dc in main.chunks_exact_mut(T::LANES) {
+        // SAFETY: chunks_exact guarantees LANES u64s.
+        unsafe {
+            mul_shoup_lazy_v(T::load(dc.as_ptr()), w_v, ws_v, p_v)
+                .cond_sub(p_v)
+                .store(dc.as_mut_ptr());
+        }
+    }
+    scalar::mul_scalar(m, rest, scalar_val, shoup);
+}
+
+#[inline(always)]
+pub(crate) fn reduce_v<T: V64>(m: &Modulus, dst: &mut [u64], src: &[u64]) {
+    let (bhi, blo) = m.barrett();
+    let p_v = T::splat(m.value());
+    let bhi_v = T::splat(bhi);
+    let blo_v = T::splat(blo);
+    let split = dst.len() - dst.len() % T::LANES;
+    let (main, rest) = dst.split_at_mut(split);
+    for (dc, sc) in main
+        .chunks_exact_mut(T::LANES)
+        .zip(src.chunks_exact(T::LANES))
+    {
+        // SAFETY: chunks_exact guarantees both chunks hold LANES u64s.
+        unsafe {
+            let x = T::load(sc.as_ptr());
+            // Exactly the scalar Barrett quotient for a 64-bit input
+            // (x_hi = 0): q = hi64(x·b_hi) + carry(hi64(x·b_lo) + lo64(x·b_hi)).
+            let ll_hi = x.mul_hi(blo_v);
+            let lh_lo = x.mul_lo(bhi_v);
+            let lh_hi = x.mul_hi(bhi_v);
+            let (_, carry) = ll_hi.add_with_carry(lh_lo);
+            let q = lh_hi.add(carry);
+            x.sub(q.mul_lo(p_v)).cond_sub(p_v).store(dc.as_mut_ptr());
+        }
+    }
+    scalar::reduce(m, rest, &src[split..]);
+}

@@ -265,9 +265,7 @@ impl Evaluator {
                     // (equal or larger) target modulus.
                     dst.copy_from_slice(src);
                 } else {
-                    for (d, &v) in dst.iter_mut().zip(src) {
-                        *d = m.reduce(v);
-                    }
+                    (crate::arch::kernels().reduce)(m, dst, src);
                 }
             }
             digit.reinterpret_form(PolyForm::Coeff);

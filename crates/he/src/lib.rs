@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arch;
 pub mod bigint;
 pub mod ciphertext;
 pub mod context;

@@ -21,6 +21,12 @@ pub struct Modulus {
     /// floor(2^128 / value), stored as (high, low) 64-bit limbs.
     barrett_hi: u64,
     barrett_lo: u64,
+    /// `-value^{-1} mod 2^64` (value is an odd prime), for Montgomery REDC.
+    mont_neg_inv: u64,
+    /// `2^64 mod value`, with its Shoup constant: multiplying by this
+    /// lifts an operand into Montgomery form in one Shoup multiply.
+    mont_r: u64,
+    mont_r_shoup: u64,
 }
 
 impl Modulus {
@@ -41,17 +47,43 @@ impl Modulus {
         let r = u128::MAX % value as u128;
         let q = if r == value as u128 - 1 { q + 1 } else { q };
         let _ = hi;
-        Self {
+        // Montgomery constants. Newton iteration doubles the number of
+        // correct low bits per step: value*x ≡ 1 (mod 2) for odd value,
+        // so six steps reach 2^64.
+        let mut inv: u64 = 1;
+        for _ in 0..6 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(value.wrapping_mul(inv)));
+        }
+        let mont_r = ((1u128 << 64) % value as u128) as u64;
+        let mut out = Self {
             value,
             barrett_hi: (q >> 64) as u64,
             barrett_lo: q as u64,
-        }
+            mont_neg_inv: inv.wrapping_neg(),
+            mont_r,
+            mont_r_shoup: 0,
+        };
+        out.mont_r_shoup = out.shoup(mont_r);
+        out
     }
 
     /// The modulus value.
     #[inline(always)]
     pub fn value(&self) -> u64 {
         self.value
+    }
+
+    /// The Barrett constant `floor(2^128 / value)` as (high, low) limbs.
+    #[inline(always)]
+    pub(crate) fn barrett(&self) -> (u64, u64) {
+        (self.barrett_hi, self.barrett_lo)
+    }
+
+    /// Montgomery constants `(-value^{-1} mod 2^64, 2^64 mod value,
+    /// shoup(2^64 mod value))`. Only meaningful for odd moduli.
+    #[inline(always)]
+    pub(crate) fn montgomery(&self) -> (u64, u64, u64) {
+        (self.mont_neg_inv, self.mont_r, self.mont_r_shoup)
     }
 
     /// Reduces a 64-bit value (already < 2^62 * anything) modulo the modulus.
@@ -249,5 +281,100 @@ mod tests {
     #[should_panic]
     fn rejects_tiny_modulus() {
         let _ = Modulus::new(1);
+    }
+
+    // ---- boundary-operand property tests -------------------------------
+    //
+    // The SIMD kernels in `crate::arch` assume exactly the contracts
+    // proved here: `mul_shoup_lazy` stays in [0, 2p) for *any* 64-bit x,
+    // and the lazy butterflies keep their [0, 4p) / [0, 2p) windows even
+    // at the extreme operands 0, p-1, 2p-1, 4p-1.
+
+    use crate::arch::scalar::{fwd_butterfly, inv_butterfly};
+    use proptest::prelude::*;
+
+    /// Test primes: small, mid, and a 62-bit prime where 4p-1 is within
+    /// one bit of u64::MAX (tightest lazy window).
+    const PRIMES: [u64; 3] = [1032193, 0x07FF_FFFF_FFFC_A001, 0x3FFF_FFFF_FFFF_F001];
+
+    /// Boundary picks plus a seed-derived filler, clamped below `bound`.
+    fn pick(sel: usize, seed: u64, p: u64, bound: u64) -> u64 {
+        let edges = [0, 1, p - 1, p, 2 * p - 1, 2 * p, 4 * p - 1, u64::MAX];
+        let v = if sel < edges.len() {
+            edges[sel]
+        } else {
+            seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        };
+        v % bound
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn mul_shoup_lazy_bounded_and_congruent_at_boundaries(
+            p_sel in 0usize..3,
+            x_sel in 0usize..9,
+            w_sel in 0usize..9,
+            seed in 0u64..u64::MAX,
+        ) {
+            let p = PRIMES[p_sel];
+            let m = Modulus::new(p);
+            // Any 64-bit x is legal (no clamp); the operand must be
+            // canonical.
+            let edges = [0, 1, p - 1, p, 2 * p - 1, 2 * p, 4 * p - 1, u64::MAX];
+            let x = if x_sel < 8 { edges[x_sel] } else { seed };
+            let w = pick(w_sel, seed.rotate_left(17), p, p);
+            let ws = m.shoup(w);
+            let r = m.mul_shoup_lazy(x, w, ws);
+            prop_assert!(r < 2 * p, "lazy result {} outside [0, 2p) for p={}", r, p);
+            prop_assert_eq!(m.reduce(r), m.reduce_u128(x as u128 * w as u128));
+        }
+
+        #[test]
+        fn fwd_butterfly_preserves_4p_window_and_values(
+            p_sel in 0usize..3,
+            x_sel in 0usize..9,
+            y_sel in 0usize..9,
+            w_sel in 0usize..9,
+            seed in 0u64..u64::MAX,
+        ) {
+            let p = PRIMES[p_sel];
+            let m = Modulus::new(p);
+            // Stage inputs live in [0, 4p) (incl. 4p-1 at the 62-bit prime).
+            let mut x = pick(x_sel, seed, p, 4 * p);
+            let mut y = pick(y_sel, seed.rotate_left(31), p, 4 * p);
+            let w = pick(w_sel, seed.rotate_left(47), p, p);
+            let (x0, y0) = (x, y);
+            fwd_butterfly(&m, &mut x, &mut y, w, m.shoup(w), 2 * p);
+            prop_assert!(x < 4 * p, "fwd x' {} outside [0, 4p)", x);
+            prop_assert!(y < 4 * p, "fwd y' {} outside [0, 4p)", y);
+            let wy = m.reduce_u128(y0 as u128 * w as u128);
+            prop_assert_eq!(m.reduce(x), m.add(m.reduce(x0), wy));
+            prop_assert_eq!(m.reduce(y), m.sub(m.reduce(x0), wy));
+        }
+
+        #[test]
+        fn inv_butterfly_preserves_2p_window_and_values(
+            p_sel in 0usize..3,
+            x_sel in 0usize..9,
+            y_sel in 0usize..9,
+            w_sel in 0usize..9,
+            seed in 0u64..u64::MAX,
+        ) {
+            let p = PRIMES[p_sel];
+            let m = Modulus::new(p);
+            // Inverse-stage inputs live in [0, 2p).
+            let mut x = pick(x_sel, seed, p, 2 * p);
+            let mut y = pick(y_sel, seed.rotate_left(31), p, 2 * p);
+            let w = pick(w_sel, seed.rotate_left(47), p, p);
+            let (x0, y0) = (x, y);
+            inv_butterfly(&m, &mut x, &mut y, w, m.shoup(w), 2 * p);
+            prop_assert!(x < 2 * p, "inv x' {} outside [0, 2p)", x);
+            prop_assert!(y < 2 * p, "inv y' {} outside [0, 2p)", y);
+            prop_assert_eq!(m.reduce(x), m.add(m.reduce(x0), m.reduce(y0)));
+            let diff = m.sub(m.reduce(x0), m.reduce(y0));
+            prop_assert_eq!(m.reduce(y), m.reduce_u128(diff as u128 * w as u128));
+        }
     }
 }

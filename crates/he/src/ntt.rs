@@ -104,49 +104,28 @@ impl NttTables {
     /// butterfly of the textbook form for roughly half that, which is
     /// where most of the transform time goes.
     ///
+    /// The loop body lives behind the [`crate::arch`] kernel dispatch:
+    /// the scalar reference and the vectorized (AVX2/NEON) butterflies
+    /// are bit-identical, so the dispatched choice never changes the
+    /// output.
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != degree`.
     pub fn forward(&self, a: &mut [u64]) {
+        self.forward_with(crate::arch::kernels(), a);
+    }
+
+    /// [`NttTables::forward`] on an explicit kernel table instead of the
+    /// dispatched one — lets tests and benches compare backends
+    /// side-by-side without touching the global dispatch state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != degree`.
+    pub fn forward_with(&self, kernels: &crate::arch::Kernels, a: &mut [u64]) {
         assert_eq!(a.len(), self.degree);
-        let m = &self.modulus;
-        let p = m.value();
-        let two_p = 2 * p;
-        let n = self.degree;
-        let mut t = n;
-        let mut size = 1usize;
-        while size < n {
-            t >>= 1;
-            let roots = &self.root_powers[size..2 * size];
-            let roots_shoup = &self.root_powers_shoup[size..2 * size];
-            for i in 0..size {
-                let w = roots[i];
-                let ws = roots_shoup[i];
-                let (lo, hi) = a[2 * i * t..2 * i * t + 2 * t].split_at_mut(t);
-                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                    // u in [0, 4p) -> [0, 2p); v in [0, 2p) for any 64-bit input.
-                    let mut u = *x;
-                    if u >= two_p {
-                        u -= two_p;
-                    }
-                    let v = m.mul_shoup_lazy(*y, w, ws);
-                    *x = u + v; // [0, 4p)
-                    *y = u + two_p - v; // (0, 4p)
-                }
-            }
-            size <<= 1;
-        }
-        // Single full-reduction pass: [0, 4p) -> [0, p).
-        for x in a.iter_mut() {
-            let mut v = *x;
-            if v >= two_p {
-                v -= two_p;
-            }
-            if v >= p {
-                v -= p;
-            }
-            *x = v;
-        }
+        (kernels.ntt_forward)(&self.modulus, &self.root_powers, &self.root_powers_shoup, a);
     }
 
     /// In-place inverse negacyclic NTT (evaluations -> coefficients).
@@ -156,43 +135,32 @@ impl NttTables {
     /// through a lazy Shoup multiply), and the final `N^{-1}` scaling
     /// pass performs the full reduction to `[0, p)`.
     ///
+    /// Like [`NttTables::forward`], the butterflies run on the
+    /// [`crate::arch`]-dispatched kernel.
+    ///
     /// # Panics
     ///
     /// Panics if `a.len() != degree`.
     pub fn inverse(&self, a: &mut [u64]) {
+        self.inverse_with(crate::arch::kernels(), a);
+    }
+
+    /// [`NttTables::inverse`] on an explicit kernel table instead of the
+    /// dispatched one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.len() != degree`.
+    pub fn inverse_with(&self, kernels: &crate::arch::Kernels, a: &mut [u64]) {
         assert_eq!(a.len(), self.degree);
-        let m = &self.modulus;
-        let two_p = 2 * m.value();
-        let n = self.degree;
-        let mut t = 1usize;
-        let mut size = n >> 1;
-        while size >= 1 {
-            let roots = &self.inv_root_powers[size..2 * size];
-            let roots_shoup = &self.inv_root_powers_shoup[size..2 * size];
-            for i in 0..size {
-                let w = roots[i];
-                let ws = roots_shoup[i];
-                let (lo, hi) = a[2 * i * t..2 * i * t + 2 * t].split_at_mut(t);
-                for (x, y) in lo.iter_mut().zip(hi.iter_mut()) {
-                    // u, v in [0, 2p).
-                    let u = *x;
-                    let v = *y;
-                    let mut s = u + v; // [0, 4p)
-                    if s >= two_p {
-                        s -= two_p;
-                    }
-                    *x = s; // [0, 2p)
-                    *y = m.mul_shoup_lazy(u + two_p - v, w, ws); // [0, 2p)
-                }
-            }
-            t <<= 1;
-            size >>= 1;
-        }
-        // N^{-1} scaling doubles as the final full reduction to [0, p):
-        // mul_shoup accepts the lazy [0, 2p) inputs directly.
-        for x in a.iter_mut() {
-            *x = m.mul_shoup(*x, self.inv_degree, self.inv_degree_shoup);
-        }
+        (kernels.ntt_inverse)(
+            &self.modulus,
+            &self.inv_root_powers,
+            &self.inv_root_powers_shoup,
+            self.inv_degree,
+            self.inv_degree_shoup,
+            a,
+        );
     }
 }
 

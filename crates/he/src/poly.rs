@@ -161,12 +161,11 @@ impl Poly {
         self.assert_compatible(other);
         let ctx = Arc::clone(&self.ctx);
         let n = ctx.degree();
+        let kernels = crate::arch::kernels();
         for (i, m) in ctx.moduli().iter().enumerate() {
             let dst = &mut self.data[i * n..(i + 1) * n];
             let src = &other.data[i * n..(i + 1) * n];
-            for (d, &s) in dst.iter_mut().zip(src) {
-                *d = m.add(*d, s);
-            }
+            (kernels.pointwise_add)(m, dst, src);
         }
     }
 
@@ -175,12 +174,11 @@ impl Poly {
         self.assert_compatible(other);
         let ctx = Arc::clone(&self.ctx);
         let n = ctx.degree();
+        let kernels = crate::arch::kernels();
         for (i, m) in ctx.moduli().iter().enumerate() {
             let dst = &mut self.data[i * n..(i + 1) * n];
             let src = &other.data[i * n..(i + 1) * n];
-            for (d, &s) in dst.iter_mut().zip(src) {
-                *d = m.sub(*d, s);
-            }
+            (kernels.pointwise_sub)(m, dst, src);
         }
     }
 
@@ -205,12 +203,11 @@ impl Poly {
         self.assert_compatible(other);
         let ctx = Arc::clone(&self.ctx);
         let n = ctx.degree();
+        let kernels = crate::arch::kernels();
         for (i, m) in ctx.moduli().iter().enumerate() {
             let dst = &mut self.data[i * n..(i + 1) * n];
             let src = &other.data[i * n..(i + 1) * n];
-            for (d, &s) in dst.iter_mut().zip(src) {
-                *d = m.mul(*d, s);
-            }
+            (kernels.pointwise_mul)(m, dst, src);
         }
     }
 
@@ -229,13 +226,12 @@ impl Poly {
         self.assert_compatible(b);
         let ctx = Arc::clone(&self.ctx);
         let n = ctx.degree();
+        let kernels = crate::arch::kernels();
         for (i, m) in ctx.moduli().iter().enumerate() {
             let dst = &mut self.data[i * n..(i + 1) * n];
             let sa = &a.data[i * n..(i + 1) * n];
             let sb = &b.data[i * n..(i + 1) * n];
-            for ((d, &x), &y) in dst.iter_mut().zip(sa).zip(sb) {
-                *d = m.add(*d, m.mul(x, y));
-            }
+            (kernels.pointwise_add_mul)(m, dst, sa, sb);
         }
     }
 
@@ -256,11 +252,10 @@ impl Poly {
         let ctx = Arc::clone(&self.ctx);
         assert_eq!(scalars.len(), ctx.moduli_count());
         let n = ctx.degree();
+        let kernels = crate::arch::kernels();
         for (i, m) in ctx.moduli().iter().enumerate() {
-            let s = scalars[i];
-            for d in &mut self.data[i * n..(i + 1) * n] {
-                *d = m.mul(*d, s);
-            }
+            let s = m.reduce(scalars[i]);
+            (kernels.mul_scalar)(m, &mut self.data[i * n..(i + 1) * n], s, m.shoup(s));
         }
     }
 

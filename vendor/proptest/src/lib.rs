@@ -299,6 +299,19 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)*)
+            )));
+        }
+    }};
 }
 
 /// Asserts inequality inside a property test body.
