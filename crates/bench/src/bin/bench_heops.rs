@@ -16,35 +16,50 @@
 //! ```
 //!
 //! The JSON schema is stable (`spot-bench-heops/v1`): consumers may rely
-//! on `schema`, `host`, `entries[].{op,level,kernel,reps,mean_us,min_us}`
-//! and `speedups`. New fields may be added; existing ones won't change
-//! meaning.
+//! on `schema`, `host`,
+//! `entries[].{op,level,kernel,reps,mean_us,median_us,min_us}` and
+//! `speedups`. New fields may be added; existing ones won't change
+//! meaning. The `conv_batched_b{B}` entries report one full in-process
+//! SPOT conv session carrying `B` images *per image* (total / B), so
+//! they read directly as throughput-per-image.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use spot_core::executor::Executor;
 use spot_core::heconv::{ConvRequest, HeConvEngine};
 use spot_core::layout::LaneLayout;
+use spot_core::patching::PatchMode;
+use spot_core::session::{run_in_process_batched, ExecBackend, SchemeKind};
 use spot_core::spot::{blocking, spot_group_specs, spot_in_maps};
 use spot_he::arch;
 use spot_he::evaluator::OpCounts;
 use spot_he::prelude::*;
+use spot_tensor::tensor::Tensor;
 use std::time::Instant;
 
-/// `(mean_us, min_us)` over `reps` timed calls after one warmup.
-fn time_us(reps: usize, mut f: impl FnMut()) -> (f64, f64) {
-    f();
-    let mut total = 0.0;
-    let mut min = f64::INFINITY;
+/// `(mean_us, median_us, min_us)` over `reps` timed calls after a
+/// short warm-up pass (untimed, so cold caches and lazy init never
+/// leak into the samples; the median is robust to scheduler spikes on
+/// shared hardware).
+fn time_us(reps: usize, mut f: impl FnMut()) -> (f64, f64, f64) {
+    for _ in 0..(reps / 10).clamp(1, 5) {
+        f();
+    }
+    let mut samples = Vec::with_capacity(reps);
     for _ in 0..reps {
         let start = Instant::now();
         f();
-        let dt = start.elapsed().as_secs_f64() * 1e6;
-        total += dt;
-        if dt < min {
-            min = dt;
-        }
+        samples.push(start.elapsed().as_secs_f64() * 1e6);
     }
-    (total / reps as f64, min)
+    let mean = samples.iter().sum::<f64>() / reps as f64;
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    let median = if reps % 2 == 1 {
+        samples[reps / 2]
+    } else {
+        (samples[reps / 2 - 1] + samples[reps / 2]) / 2.0
+    };
+    (mean, median, min)
 }
 
 struct Entry {
@@ -53,6 +68,7 @@ struct Entry {
     kernel: &'static str,
     reps: usize,
     mean_us: f64,
+    median_us: f64,
     min_us: f64,
 }
 
@@ -72,13 +88,14 @@ fn measure_kernel(kernel: &'static str, entries: &mut Vec<Entry>) {
         let p = m.value();
         let coeffs: Vec<u64> = (0..n as u64).map(|i| (i * 0x9e37_79b9 + 17) % p).collect();
 
-        let mut push = |op, reps, (mean_us, min_us)| {
+        let mut push = |op, reps, (mean_us, median_us, min_us)| {
             entries.push(Entry {
                 op,
                 level: level_name,
                 kernel,
                 reps,
                 mean_us,
+                median_us,
                 min_us,
             })
         };
@@ -202,7 +219,7 @@ fn measure_kernel(kernel: &'static str, entries: &mut Vec<Entry>) {
     let mut counts = OpCounts::default();
     engine.conv_one_ct(&ct, &req, &mut counts); // warm the kernel cache
     let reps = 10;
-    let (mean_us, min_us) = time_us(reps, || {
+    let (mean_us, median_us, min_us) = time_us(reps, || {
         std::hint::black_box(engine.conv_one_ct(&ct, &req, &mut counts));
     });
     entries.push(Entry {
@@ -211,8 +228,60 @@ fn measure_kernel(kernel: &'static str, entries: &mut Vec<Entry>) {
         kernel,
         reps,
         mean_us,
+        median_us,
         min_us,
     });
+}
+
+/// Cross-image batching throughput: one full in-process SPOT conv
+/// session carrying `B` images of a low-occupancy layer (2×8×8 → 4
+/// channels fills well under half the N4096 slots), reported **per
+/// image** (total session time / B). The rotation and key-switch
+/// schedule runs once for the whole batch, so per-image time drops
+/// roughly as 1/B.
+fn measure_batched(kernel: &'static str, entries: &mut Vec<Entry>) {
+    let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
+    let mut rng = StdRng::seed_from_u64(5);
+    let keygen = KeyGenerator::new(&ctx, &mut rng);
+    let kernel_t = spot_tensor::tensor::Kernel::random(4, 2, 3, 3, 3, 7);
+    let backend = ExecBackend::Phased(Executor::serial());
+    for (b, op) in [
+        (1usize, "conv_batched_b1"),
+        (2, "conv_batched_b2"),
+        (4, "conv_batched_b4"),
+    ] {
+        let inputs: Vec<Tensor> = (0..b as u64)
+            .map(|i| Tensor::random(2, 8, 8, 5, 9 + i))
+            .collect();
+        let reps = 5;
+        let (mean_us, median_us, min_us) = time_us(reps, || {
+            let mut r = StdRng::seed_from_u64(11);
+            std::hint::black_box(
+                run_in_process_batched(
+                    &ctx,
+                    &keygen,
+                    &inputs,
+                    &kernel_t,
+                    1,
+                    (4, 4),
+                    PatchMode::Tweaked,
+                    SchemeKind::Spot,
+                    &backend,
+                    &mut r,
+                )
+                .expect("batched conv session"),
+            );
+        });
+        entries.push(Entry {
+            op,
+            level: "N4096",
+            kernel,
+            reps,
+            mean_us: mean_us / b as f64,
+            median_us: median_us / b as f64,
+            min_us: min_us / b as f64,
+        });
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -248,12 +317,13 @@ fn emit_json(dispatched: &str, entries: &[Entry]) {
     for (i, e) in entries.iter().enumerate() {
         println!(
             "    {{\"op\": \"{}\", \"level\": \"{}\", \"kernel\": \"{}\", \
-             \"reps\": {}, \"mean_us\": {:.3}, \"min_us\": {:.3}}}{}",
+             \"reps\": {}, \"mean_us\": {:.3}, \"median_us\": {:.3}, \"min_us\": {:.3}}}{}",
             e.op,
             e.level,
             e.kernel,
             e.reps,
             e.mean_us,
+            e.median_us,
             e.min_us,
             if i + 1 < entries.len() { "," } else { "" }
         );
@@ -283,13 +353,13 @@ fn emit_json(dispatched: &str, entries: &[Entry]) {
 
 fn emit_table(entries: &[Entry]) {
     println!(
-        "{:<22} {:<6} {:<8} {:>8} {:>12} {:>12}",
-        "op", "level", "kernel", "reps", "mean_us", "min_us"
+        "{:<22} {:<6} {:<8} {:>8} {:>12} {:>12} {:>12}",
+        "op", "level", "kernel", "reps", "mean_us", "median_us", "min_us"
     );
     for e in entries {
         println!(
-            "{:<22} {:<6} {:<8} {:>8} {:>12.3} {:>12.3}",
-            e.op, e.level, e.kernel, e.reps, e.mean_us, e.min_us
+            "{:<22} {:<6} {:<8} {:>8} {:>12.3} {:>12.3} {:>12.3}",
+            e.op, e.level, e.kernel, e.reps, e.mean_us, e.median_us, e.min_us
         );
     }
 }
@@ -309,6 +379,9 @@ fn main() {
         }
     }
     arch::force(dispatched).expect("restore dispatched backend");
+    // Batching amortization is a protocol property, not a kernel one:
+    // measure it once under the production dispatch.
+    measure_batched(dispatched, &mut entries);
 
     if json {
         emit_json(dispatched, &entries);

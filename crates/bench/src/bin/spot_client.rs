@@ -5,11 +5,14 @@
 //!
 //! ```text
 //! spot-client [--connect 127.0.0.1:7341] [--scheme spot|channelwise|cheetah]
-//!             [--seed S] [--link lan|wlan] [--trace out.json]
+//!             [--batch N] [--seed S] [--link lan|wlan] [--trace out.json]
 //! ```
 //!
 //! Prints `output vs plain: MATCH` / `output vs reference: MATCH` on
-//! success (the loopback e2e CI job greps for these).
+//! success (the loopback e2e CI job greps for these); with `--batch N`
+//! the N queued images ride shared ciphertexts through both conv
+//! layers and each image prints its own `image I: output vs plain:
+//! MATCH` line.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,7 +20,7 @@ use spot_core::executor::Executor;
 use spot_core::inference::TinyCnn;
 use spot_core::patching::PatchMode;
 use spot_core::session::{ExecBackend, SchemeKind};
-use spot_core::twoparty::{run_client, run_server};
+use spot_core::twoparty::{run_client_batch, run_server};
 use spot_he::context::Context;
 use spot_he::keys::KeyGenerator;
 use spot_he::params::{EncryptionParams, ParamLevel};
@@ -46,15 +49,15 @@ fn connect_with_retry(addr: &str) -> TcpTransport {
 }
 
 /// Runs the same client logic against an in-process server over a
-/// `MemTransport` pair, returning the output and the client-side
-/// transport accounting.
+/// `MemTransport` pair, returning the per-image outputs and the
+/// client-side transport accounting.
 fn mem_reference(
     ctx: &Arc<Context>,
     cnn: &TinyCnn,
-    input: &Tensor,
+    inputs: &[Tensor],
     scheme: SchemeKind,
     seed: u64,
-) -> (Tensor, TransportStats) {
+) -> (Vec<Tensor>, TransportStats) {
     let (ct, st) = MemTransport::pair();
     let ctx_s = Arc::clone(ctx);
     let cnn_s = cnn.clone();
@@ -70,11 +73,11 @@ fn mem_reference(
     });
     let mut rng = StdRng::seed_from_u64(seed);
     let kg = KeyGenerator::new(ctx, &mut rng);
-    let out = run_client(
+    let out = run_client_batch(
         ctx,
         &kg,
         &ct,
-        input,
+        inputs,
         cnn,
         scheme,
         (4, 4),
@@ -101,6 +104,10 @@ fn main() {
     let seed: u64 = arg_value(&args, "--seed")
         .map(|v| v.parse().expect("--seed takes a number"))
         .unwrap_or(99);
+    let batch: usize = arg_value(&args, "--batch")
+        .map(|v| v.parse().expect("--batch takes a number"))
+        .unwrap_or(1);
+    assert!(batch >= 1, "--batch must be at least 1");
     let link = match arg_value(&args, "--link").as_deref().unwrap_or("lan") {
         "wlan" => LinkModel::wlan(),
         _ => LinkModel::lan(),
@@ -112,22 +119,24 @@ fn main() {
 
     let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
     let cnn = TinyCnn::new(7);
-    let input = Tensor::random(2, 8, 8, 5, 9);
-    let want = cnn.forward_plain(&input);
+    let inputs: Vec<Tensor> = (0..batch as u64)
+        .map(|b| Tensor::random(2, 8, 8, 5, 9 + b))
+        .collect();
+    let want: Vec<Tensor> = inputs.iter().map(|i| cnn.forward_plain(i)).collect();
 
     println!("spot-client: in-process MemTransport reference run...");
-    let (ref_out, ref_stats) = mem_reference(&ctx, &cnn, &input, scheme, seed);
+    let (ref_out, ref_stats) = mem_reference(&ctx, &cnn, &inputs, scheme, seed);
 
-    println!("spot-client: connecting to {addr} (scheme {scheme:?})");
+    println!("spot-client: connecting to {addr} (scheme {scheme:?}, batch {batch})");
     let transport = connect_with_retry(&addr);
     let t0 = std::time::Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
     let kg = KeyGenerator::new(&ctx, &mut rng);
-    let out = run_client(
+    let out = run_client_batch(
         &ctx,
         &kg,
         &transport,
-        &input,
+        &inputs,
         &cnn,
         scheme,
         (4, 4),
@@ -139,14 +148,31 @@ fn main() {
 
     let plain_ok = out == want;
     let ref_ok = out == ref_out;
-    println!(
-        "output vs plain: {}",
-        if plain_ok { "MATCH" } else { "MISMATCH" }
-    );
-    println!(
-        "output vs reference: {}",
-        if ref_ok { "MATCH" } else { "MISMATCH" }
-    );
+    if batch == 1 {
+        println!(
+            "output vs plain: {}",
+            if plain_ok { "MATCH" } else { "MISMATCH" }
+        );
+        println!(
+            "output vs reference: {}",
+            if ref_ok { "MATCH" } else { "MISMATCH" }
+        );
+    } else {
+        for (i, img) in out.iter().enumerate() {
+            println!(
+                "image {i}: output vs plain: {}",
+                if *img == want[i] { "MATCH" } else { "MISMATCH" }
+            );
+            println!(
+                "image {i}: output vs reference: {}",
+                if *img == ref_out[i] {
+                    "MATCH"
+                } else {
+                    "MISMATCH"
+                }
+            );
+        }
+    }
 
     let stats = transport.stats();
     let traffic_ok = stats.sent == ref_stats.sent
@@ -190,7 +216,14 @@ fn main() {
             &rows(&stats)
         )
     );
-    println!("spot-client: end-to-end wall {wall:.3}s over TCP");
+    if batch == 1 {
+        println!("spot-client: end-to-end wall {wall:.3}s over TCP");
+    } else {
+        println!(
+            "spot-client: end-to-end wall {wall:.3}s over TCP ({:.3}s/image at batch {batch})",
+            wall / batch as f64
+        );
+    }
     if let (Some(path), Some(baseline)) = (&trace_path, &trace_baseline) {
         spot_bench::traceio::trace_finish(std::path::Path::new(path), baseline);
     }

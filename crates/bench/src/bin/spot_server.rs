@@ -71,6 +71,30 @@ fn main() {
         "spot-server: done — {} input cts, {} output cts, {} rotations, {} plain mults",
         report.input_cts, report.output_cts, report.counts.rotate, report.counts.mult_plain
     );
+    if report.batch > 1 {
+        // Batched sessions run the rotation/key-switch schedule once for
+        // the whole batch, so each image pays 1/batch of it.
+        println!(
+            "spot-server: batch {} — amortized {:.1} rotations/image, {:.1} plain mults/image",
+            report.batch,
+            spot_proto::cost::amortized_per_image(report.counts.rotate, report.batch),
+            spot_proto::cost::amortized_per_image(report.counts.mult_plain, report.batch),
+        );
+        if let Some(baseline) = &trace_baseline {
+            let delta = spot_trace::counters().delta(baseline);
+            println!(
+                "spot-server: traced {:.1} key switches/image, {:.1} rotations/image",
+                spot_proto::cost::amortized_per_image(
+                    delta.get(spot_trace::Counter::KeySwitch),
+                    report.batch
+                ),
+                spot_proto::cost::amortized_per_image(
+                    delta.get(spot_trace::Counter::Rotate),
+                    report.batch
+                ),
+            );
+        }
+    }
     if report.stream.input_items > 0 {
         println!(
             "{}",

@@ -5,7 +5,7 @@
 
 use crate::executor::Executor;
 use crate::patching::PatchMode;
-use crate::session::{run_in_process, SchemeKind};
+use crate::session::{run_in_process, run_in_process_batched, SchemeKind};
 use crate::stream::StreamStats;
 use crate::{channelwise, cheetah, select, spot};
 
@@ -92,6 +92,41 @@ pub fn run_conv_backend<R: Rng + Send>(
     )
     .expect("in-process secure convolution session");
     (outcome.result, outcome.stream)
+}
+
+/// [`run_conv_backend`] over a batch of same-shape images coalesced
+/// into one session (shared ciphertexts for the slot-packed schemes,
+/// sequential images for Cheetah). Returns each image's functional
+/// result in submission order; op and ciphertext counts on the results
+/// are per batch.
+#[allow(clippy::too_many_arguments)]
+pub fn run_conv_backend_batched<R: Rng + Send>(
+    ctx: &Arc<Context>,
+    keygen: &KeyGenerator,
+    inputs: &[Tensor],
+    kernel: &Kernel,
+    stride: usize,
+    patch: (usize, usize),
+    mode: PatchMode,
+    scheme: Scheme,
+    backend: &ExecBackend,
+    rng: &mut R,
+) -> (Vec<channelwise::SecureConvResult>, Option<StreamStats>) {
+    let outcome = run_in_process_batched(
+        ctx,
+        keygen,
+        inputs,
+        kernel,
+        stride,
+        patch,
+        mode,
+        scheme.kind(),
+        backend,
+        rng,
+    )
+    .expect("in-process batched secure convolution session");
+    let stream = outcome.stream.clone();
+    (outcome.into_results(), stream)
 }
 
 /// Builds the execution plan for one convolution layer under a scheme,

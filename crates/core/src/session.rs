@@ -40,7 +40,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use spot_he::ciphertext::Ciphertext;
 use spot_he::context::Context;
-use spot_he::encoding::{BatchEncoder, Plaintext};
+use spot_he::encoding::{BatchEncoder, BatchLayout, Plaintext};
 use spot_he::encryptor::{Decryptor, Encryptor};
 use spot_he::evaluator::{Evaluator, OpCounts};
 use spot_he::keys::{GaloisKeys, KeyGenerator};
@@ -159,6 +159,10 @@ impl LayerSpec {
             scheme: self.scheme.code(),
             mode: if spot { mode_code(self.mode) } else { 0 },
             level: level_code(level),
+            // 0 keeps unbatched hellos byte-identical to the
+            // pre-batching wire format (the byte was reserved-zero);
+            // batched uploads overwrite it with the batch width.
+            batch: 0,
             h: self.shape.height as u32,
             w: self.shape.width as u32,
             c_in: self.shape.c_in as u32,
@@ -370,6 +374,88 @@ fn galois_elements(spec: &LayerSpec, detail: &PlanDetail) -> Vec<usize> {
 }
 
 // ---------------------------------------------------------------------
+// Cross-image batching structure
+// ---------------------------------------------------------------------
+
+/// Largest batch width the wire hello can carry.
+const MAX_BATCH: usize = u8::MAX as usize;
+
+/// Batch layout for channel-wise packing: one image occupies group
+/// position 0 across both lanes and every channel block, so every
+/// further group position can carry another queued image.
+fn channelwise_batch_layout(layout: &LaneLayout) -> BatchLayout {
+    BatchLayout::new(
+        layout.lane_size,
+        layout.blocks,
+        layout.groups,
+        layout.piece_slots,
+        1,
+        false,
+    )
+}
+
+/// Batch layout for one SPOT piece class: an image's pieces occupy the
+/// first `pieces` positions of the class ciphertext (lane-major whole
+/// pieces, or one group per piece when channels split across lanes).
+/// When the class spills over several ciphertexts (`pieces` exceeds the
+/// position count), each ciphertext is fully occupied by the single
+/// image, so the stride clamps to the whole position space: capacity 1,
+/// pack/unpack the identity. [`plan_batch_capacity`] independently
+/// forces batch 1 for such layers.
+fn spot_batch_layout(blk: &Blocking, layout: &LaneLayout, pieces: usize) -> BatchLayout {
+    let positions = if blk.split {
+        layout.groups
+    } else {
+        2 * layout.groups
+    };
+    BatchLayout::new(
+        layout.lane_size,
+        layout.blocks,
+        layout.groups,
+        layout.piece_slots,
+        pieces.clamp(1, positions),
+        !blk.split,
+    )
+}
+
+/// How many queued images one session can coalesce into shared
+/// ciphertexts. The masked kernel plaintexts already confine every
+/// group position's convolution to its own piece region, so spare
+/// positions carry further images with the per-batch rotation and
+/// key-switch counts unchanged. Cheetah's coefficient packing shares
+/// no slots; its batches run as sequential images inside one session,
+/// bounded only by the wire field.
+fn plan_batch_capacity(detail: &PlanDetail) -> usize {
+    match detail {
+        PlanDetail::Channelwise { layout, .. } => {
+            channelwise_batch_layout(layout).capacity().min(MAX_BATCH)
+        }
+        PlanDetail::Cheetah { .. } => MAX_BATCH,
+        PlanDetail::Spot {
+            blk,
+            probe,
+            layouts,
+            class_cts,
+            ..
+        } => {
+            let mut cap = MAX_BATCH;
+            for (ci, (_class, pieces)) in probe.classes.iter().enumerate() {
+                if pieces.is_empty() {
+                    continue;
+                }
+                if class_cts[ci] != 1 {
+                    // A class spilling over one ciphertext has no spare
+                    // positions to scatter another image into.
+                    return 1;
+                }
+                cap = cap.min(spot_batch_layout(blk, &layouts[ci], pieces.len()).capacity());
+            }
+            cap.max(1)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // Execution backend
 // ---------------------------------------------------------------------
 
@@ -456,6 +542,76 @@ fn draw_mask<R: Rng>(rng: &mut R, degree: usize, t: u64) -> Vec<u64> {
     (0..degree).map(|_| rng.gen_range(0..t)).collect()
 }
 
+/// Result-mask source for one served image: the session rng for
+/// unbatched layers (preserving the canonical draw order), or one
+/// per-image rng split off the session rng so every image's masks match
+/// an unbatched run seeded with that image's seed.
+enum MaskRng<'a, R: Rng> {
+    Session(&'a mut R),
+    Image(&'a mut StdRng),
+}
+
+impl<R: Rng> MaskRng<'_, R> {
+    fn draw(&mut self, degree: usize, t: u64) -> Vec<u64> {
+        match self {
+            MaskRng::Session(r) => draw_mask(&mut **r, degree, t),
+            MaskRng::Image(r) => draw_mask(&mut **r, degree, t),
+        }
+    }
+}
+
+/// One image's channel-wise packing for input ciphertext `j`: both
+/// lanes, channel blocks at group position 0 (the single-image layout
+/// [`channelwise_batch_layout`] interleaves into).
+fn channelwise_image_slots(
+    geo: &channelwise::ChannelwiseGeometry,
+    layout: &LaneLayout,
+    shape: &ConvShape,
+    input: &Tensor,
+    j: usize,
+    t: u64,
+    n: usize,
+) -> Vec<u64> {
+    let lane = n / 2;
+    let mut slots = vec![0u64; n];
+    let map = channelwise::channel_map(geo, j, shape.c_in);
+    for (lane_idx, row) in map.iter().enumerate() {
+        for (b, ch) in row.iter().enumerate() {
+            let Some(c) = *ch else { continue };
+            for y in 0..shape.height {
+                for x in 0..shape.width {
+                    slots[lane_idx * lane + layout.slot(b, 0, y, x)] =
+                        input.at(c, y, x).rem_euclid(t as i64) as u64;
+                }
+            }
+        }
+    }
+    slots
+}
+
+/// One image's Cheetah coefficient packing for the channel subset
+/// `chunk`.
+fn cheetah_chunk_coeffs(
+    shape: &ConvShape,
+    input: &Tensor,
+    chunk: &[usize],
+    t: u64,
+    n: usize,
+) -> Vec<u64> {
+    let hp = shape.height + shape.k_h - 1;
+    let wp = shape.width + shape.k_w - 1;
+    let s_ch = hp * wp;
+    let mut coeffs = vec![0u64; n];
+    for (local, &c) in chunk.iter().enumerate() {
+        for y in 0..shape.height {
+            for x in 0..shape.width {
+                coeffs[local * s_ch + y * wp + x] = input.at(c, y, x).rem_euclid(t as i64) as u64;
+            }
+        }
+    }
+    coeffs
+}
+
 // ---------------------------------------------------------------------
 // Client session
 // ---------------------------------------------------------------------
@@ -494,6 +650,18 @@ pub struct ClientShare {
     /// Decryptions performed.
     pub decrypt: u64,
     /// Masked result ciphertexts absorbed.
+    pub output_cts: usize,
+}
+
+/// The client's completed download phase for a batched upload: one
+/// additive output share per image, in submission order.
+#[derive(Debug, Clone)]
+pub struct ClientBatchShare {
+    /// Per-image additive shares of the (strided) output tensors.
+    pub shares: Vec<Tensor>,
+    /// Decryptions performed (per batch, not per image).
+    pub decrypt: u64,
+    /// Masked result ciphertexts absorbed (per batch, not per image).
     pub output_cts: usize,
 }
 
@@ -601,21 +769,8 @@ impl<'a> ClientConv<'a> {
         match &self.detail {
             PlanDetail::Channelwise { geo, layout, .. } => {
                 let encoder = BatchEncoder::new(&self.ctx);
-                let lane = n / 2;
                 for j in 0..geo.input_cts {
-                    let mut slots = vec![0u64; n];
-                    let map = channelwise::channel_map(geo, j, shape.c_in);
-                    for (lane_idx, row) in map.iter().enumerate() {
-                        for (b, ch) in row.iter().enumerate() {
-                            let Some(c) = *ch else { continue };
-                            for y in 0..shape.height {
-                                for x in 0..shape.width {
-                                    slots[lane_idx * lane + layout.slot(b, 0, y, x)] =
-                                        input.at(c, y, x).rem_euclid(t as i64) as u64;
-                                }
-                            }
-                        }
-                    }
+                    let slots = channelwise_image_slots(geo, layout, shape, input, j, t, n);
                     let ct = encryptor.encrypt(&encoder.encode(&slots), rng);
                     encrypt += 1;
                     transport.send(&WireMessage::PackedCt {
@@ -626,20 +781,9 @@ impl<'a> ClientConv<'a> {
                 }
             }
             PlanDetail::Cheetah { geo } => {
-                let hp = shape.height + shape.k_h - 1;
-                let wp = shape.width + shape.k_w - 1;
-                let s_ch = hp * wp;
                 let all_channels: Vec<usize> = (0..shape.c_in).collect();
                 for chunk in all_channels.chunks(geo.channels_per_ct) {
-                    let mut coeffs = vec![0u64; n];
-                    for (local, &c) in chunk.iter().enumerate() {
-                        for y in 0..shape.height {
-                            for x in 0..shape.width {
-                                coeffs[local * s_ch + y * wp + x] =
-                                    input.at(c, y, x).rem_euclid(t as i64) as u64;
-                            }
-                        }
-                    }
+                    let coeffs = cheetah_chunk_coeffs(shape, input, chunk, t, n);
                     let ct = encryptor.encrypt(&Plaintext::from_coeffs(coeffs), rng);
                     encrypt += 1;
                     transport.send(&WireMessage::PackedCt {
@@ -690,6 +834,183 @@ impl<'a> ClientConv<'a> {
         })
     }
 
+    /// How many queued images this layer can coalesce into one upload:
+    /// the spare SIMD-slot positions of the layer's packing (Cheetah
+    /// batches as sequential images bounded only by the wire field).
+    pub fn batch_capacity(&self) -> usize {
+        plan_batch_capacity(&self.detail)
+    }
+
+    /// Upload phase for a batch of images sharing one session: the
+    /// slot-packed schemes interleave every image's packing into the
+    /// same ciphertexts ([`BatchLayout::pack_images`]), so the upload —
+    /// and the server's rotations and key-switches — stay those of a
+    /// single image. A one-image batch delegates to
+    /// [`ClientConv::send_all`] and is wire-identical to it.
+    pub fn send_all_batched<R: Rng>(
+        &self,
+        transport: &dyn Transport,
+        inputs: &[Tensor],
+        pacing: UploadPacing,
+        rng: &mut R,
+    ) -> Result<ClientSendSummary, SpotError> {
+        let batch = inputs.len();
+        if batch <= 1 {
+            let input = inputs
+                .first()
+                .ok_or_else(|| SpotError::Protocol("empty input batch".into()))?;
+            return self.send_all(transport, input, pacing, rng);
+        }
+        let cap = self.batch_capacity().min(MAX_BATCH);
+        if batch > cap {
+            return Err(SpotError::Protocol(format!(
+                "batch of {batch} images exceeds layer capacity {cap}"
+            )));
+        }
+        let _span = spot_trace::span_owned(Cat::Session, || {
+            format!("send_all_batched {}", self.spec.scheme.name())
+        })
+        .arg("batch", batch as u64);
+        let shape = &self.spec.shape;
+        for input in inputs {
+            if input.channels() != shape.c_in
+                || input.height() != shape.height
+                || input.width() != shape.width
+            {
+                return Err(SpotError::Protocol(format!(
+                    "input tensor {}x{}x{} does not match layer spec {}x{}x{}",
+                    input.channels(),
+                    input.height(),
+                    input.width(),
+                    shape.c_in,
+                    shape.height,
+                    shape.width
+                )));
+            }
+        }
+        let mut setup = self.spec.to_setup(self.ctx.params().level());
+        setup.batch = batch as u8;
+        transport.send(&WireMessage::Setup(setup))?;
+        let encryptor = Encryptor::new(&self.ctx, self.keygen.public_key(rng));
+        if !self.elements.is_empty() {
+            let gk = self.keygen.galois_keys(&self.elements, rng);
+            transport.send(&WireMessage::GaloisKeys(galois_keys_to_bytes(&gk)))?;
+        }
+        if pacing == UploadPacing::AwaitAck {
+            let msg = transport.recv()?;
+            let WireMessage::LayerBarrier { .. } = msg else {
+                return Err(unexpected(&msg, "LayerBarrier"));
+            };
+        }
+        let t = self.ctx.params().plain_modulus();
+        let n = self.ctx.degree();
+        let mut encrypt = 0u64;
+        let mut seq = 0u32;
+        match &self.detail {
+            PlanDetail::Channelwise { geo, layout, .. } => {
+                let encoder = BatchEncoder::new(&self.ctx);
+                let blayout = channelwise_batch_layout(layout);
+                for j in 0..geo.input_cts {
+                    let rows: Vec<Vec<u64>> = inputs
+                        .iter()
+                        .map(|img| channelwise_image_slots(geo, layout, shape, img, j, t, n))
+                        .collect();
+                    let slots = blayout.pack_images(&rows);
+                    let ct = encryptor.encrypt(&encoder.encode(&slots), rng);
+                    encrypt += 1;
+                    transport.send(&WireMessage::PackedCt {
+                        seq,
+                        blob: ct.to_bytes(),
+                    })?;
+                    seq += 1;
+                }
+            }
+            PlanDetail::Cheetah { geo } => {
+                // Coefficient packing shares no slots: a batch is the
+                // images in sequence over one session (keys and setup
+                // amortize; rotations are already zero here).
+                let all_channels: Vec<usize> = (0..shape.c_in).collect();
+                for img in inputs {
+                    for chunk in all_channels.chunks(geo.channels_per_ct) {
+                        let coeffs = cheetah_chunk_coeffs(shape, img, chunk, t, n);
+                        let ct = encryptor.encrypt(&Plaintext::from_coeffs(coeffs), rng);
+                        encrypt += 1;
+                        transport.send(&WireMessage::PackedCt {
+                            seq,
+                            blob: ct.to_bytes(),
+                        })?;
+                        seq += 1;
+                    }
+                }
+            }
+            PlanDetail::Spot {
+                blk,
+                probe,
+                layouts,
+                class_cts,
+                ..
+            } => {
+                let encoder = BatchEncoder::new(&self.ctx);
+                // The capacity check above guarantees every non-empty
+                // class packs into exactly one ciphertext per image.
+                let mut per_image: Vec<Vec<Vec<Vec<u64>>>> = inputs
+                    .iter()
+                    .map(|img| {
+                        let decomp = decompose(
+                            img,
+                            self.spec.patch.0,
+                            self.spec.patch.1,
+                            shape.k_h,
+                            self.spec.mode,
+                        );
+                        decomp
+                            .classes
+                            .iter()
+                            .enumerate()
+                            .map(|(ci, (_class, pieces))| {
+                                let layout = &layouts[ci];
+                                if blk.split {
+                                    pack_pieces_split(layout, pieces, t)
+                                } else {
+                                    pack_pieces(layout, pieces, t)
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                for (ci, (_class, pieces)) in probe.classes.iter().enumerate() {
+                    if class_cts[ci] == 0 {
+                        continue;
+                    }
+                    let blayout = spot_batch_layout(blk, &layouts[ci], pieces.len());
+                    let rows: Vec<Vec<u64>> = per_image
+                        .iter_mut()
+                        .map(|classes| classes[ci].pop().expect("one ciphertext per class"))
+                        .collect();
+                    let slots = blayout.pack_images(&rows);
+                    let ct = encryptor.encrypt(&encoder.encode(&slots), rng);
+                    encrypt += 1;
+                    let blob = ct.to_bytes();
+                    let msg = if ci == 0 {
+                        WireMessage::PackedCt { seq, blob }
+                    } else {
+                        WireMessage::AuxCt {
+                            class: ci as u16,
+                            seq,
+                            blob,
+                        }
+                    };
+                    transport.send(&msg)?;
+                    seq += 1;
+                }
+            }
+        }
+        Ok(ClientSendSummary {
+            encrypt,
+            input_cts: seq as usize,
+        })
+    }
+
     /// Download phase: receives every masked result, decrypts, and
     /// assembles the client's additive share. Needs no randomness, so
     /// it can run concurrently with [`ClientConv::send_all`] over a
@@ -700,8 +1021,25 @@ impl<'a> ClientConv<'a> {
             format!("absorb_all {}", self.spec.scheme.name())
         })
         .arg("output_cts", expected as u64);
+        let (mut decoded, decrypt) = self.receive_decoded(transport, expected)?;
+        let share = self.share_from_decoded(&mut decoded);
+        Ok(ClientShare {
+            share,
+            decrypt,
+            output_cts: expected,
+        })
+    }
+
+    /// Receives `expected` masked results (any order, validated by
+    /// sequence number), decrypts and decodes each into its slot/coeff
+    /// values. Returns the rows in sequence order plus the decryption
+    /// count.
+    fn receive_decoded(
+        &self,
+        transport: &dyn Transport,
+        expected: usize,
+    ) -> Result<(Vec<Vec<u64>>, u64), SpotError> {
         let decryptor = Decryptor::new(&self.ctx, self.keygen.secret_key().clone());
-        let t = self.ctx.params().plain_modulus();
         let coeff_encoded = matches!(self.detail, PlanDetail::Cheetah { .. });
         let encoder = BatchEncoder::new(&self.ctx);
         let mut decoded: Vec<Option<Vec<u64>>> = vec![None; expected];
@@ -742,15 +1080,21 @@ impl<'a> ClientConv<'a> {
             };
             decoded[seq as usize] = Some(values);
         }
-        let mut decoded: Vec<Vec<u64>> = decoded
+        let decoded: Vec<Vec<u64>> = decoded
             .into_iter()
             .map(|d| d.expect("all sequence numbers seen"))
             .collect();
+        Ok((decoded, decrypt))
+    }
 
+    /// Assembles one image's additive share from its decoded result
+    /// rows (in sequence order; SPOT rows are consumed in place).
+    fn share_from_decoded(&self, decoded: &mut [Vec<u64>]) -> Tensor {
+        let t = self.ctx.params().plain_modulus();
         let shape = &self.spec.shape;
         let oh = shape.out_height();
         let ow = shape.out_width();
-        let share = match &self.detail {
+        match &self.detail {
             PlanDetail::Channelwise { layout, groups, .. } => {
                 let lane = self.ctx.degree() / 2;
                 let mut share = Tensor::zeros(shape.c_out, oh, ow);
@@ -823,9 +1167,99 @@ impl<'a> ClientConv<'a> {
                     full.at(c, y * shape.stride, x * shape.stride)
                 })
             }
+        }
+    }
+
+    /// Download phase for a batched upload: receives the shared masked
+    /// results, then demultiplexes each image's slot positions
+    /// ([`BatchLayout::unpack_image`]) before running the ordinary
+    /// single-image share assembly. Image `b`'s share is bit-identical
+    /// to an unbatched run whose server mask rng was seeded with image
+    /// `b`'s per-image seed. A one-image batch delegates to
+    /// [`ClientConv::absorb_all`].
+    pub fn absorb_all_batched(
+        &self,
+        transport: &dyn Transport,
+        batch: usize,
+    ) -> Result<ClientBatchShare, SpotError> {
+        if batch <= 1 {
+            let one = self.absorb_all(transport)?;
+            return Ok(ClientBatchShare {
+                shares: vec![one.share],
+                decrypt: one.decrypt,
+                output_cts: one.output_cts,
+            });
+        }
+        let expected = match &self.detail {
+            // Sequential images: every image has its own result cts.
+            PlanDetail::Cheetah { .. } => batch * self.spec.shape.c_out,
+            // Shared ciphertexts: the result count is that of one image.
+            _ => self.output_cts(),
         };
-        Ok(ClientShare {
-            share,
+        let _span = spot_trace::span_owned(Cat::Session, || {
+            format!("absorb_all_batched {}", self.spec.scheme.name())
+        })
+        .arg("output_cts", expected as u64)
+        .arg("batch", batch as u64);
+        let (decoded, decrypt) = self.receive_decoded(transport, expected)?;
+        let shares = match &self.detail {
+            PlanDetail::Channelwise { layout, .. } => {
+                let blayout = channelwise_batch_layout(layout);
+                (0..batch)
+                    .map(|b| {
+                        let mut img: Vec<Vec<u64>> = decoded
+                            .iter()
+                            .map(|row| blayout.unpack_image(row, b))
+                            .collect();
+                        self.share_from_decoded(&mut img)
+                    })
+                    .collect()
+            }
+            PlanDetail::Cheetah { .. } => {
+                let c_out = self.spec.shape.c_out;
+                let mut shares = Vec::with_capacity(batch);
+                let mut rows = decoded.into_iter();
+                for _ in 0..batch {
+                    let mut img: Vec<Vec<u64>> = rows.by_ref().take(c_out).collect();
+                    shares.push(self.share_from_decoded(&mut img));
+                }
+                shares
+            }
+            PlanDetail::Spot {
+                blk,
+                probe,
+                layouts,
+                class_cts,
+                groups,
+                ..
+            } => {
+                let blayouts: Vec<BatchLayout> = layouts
+                    .iter()
+                    .zip(&probe.classes)
+                    .map(|(lay, (_class, pieces))| spot_batch_layout(blk, lay, pieces.len()))
+                    .collect();
+                let out_groups = groups.len();
+                // Result row index → class, mirroring the send order:
+                // each class ct contributes `out_groups` result rows.
+                let row_class: Vec<usize> = class_cts
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(ci, &cnt)| std::iter::repeat_n(ci, cnt * out_groups))
+                    .collect();
+                (0..batch)
+                    .map(|b| {
+                        let mut img: Vec<Vec<u64>> = decoded
+                            .iter()
+                            .enumerate()
+                            .map(|(row, values)| blayouts[row_class[row]].unpack_image(values, b))
+                            .collect();
+                        self.share_from_decoded(&mut img)
+                    })
+                    .collect()
+            }
+        };
+        Ok(ClientBatchShare {
+            shares,
             decrypt,
             output_cts: expected,
         })
@@ -839,9 +1273,15 @@ impl<'a> ClientConv<'a> {
 /// Outcome of one served convolution layer.
 #[derive(Debug)]
 pub struct ServerConvSummary {
-    /// The server's additive share of the (strided) output tensor.
+    /// The server's additive share of the (strided) output tensor
+    /// (image 0 of a batched layer).
     pub server_share: Tensor,
-    /// HE operations performed on the server.
+    /// Server shares of batched images 1.. (empty for an unbatched
+    /// layer).
+    pub extra_shares: Vec<Tensor>,
+    /// HE operations performed on the server (per batch, not per
+    /// image — slot batching leaves these unchanged as the batch
+    /// width grows).
     pub counts: OpCounts,
     /// Input ciphertexts received.
     pub input_cts: usize,
@@ -895,6 +1335,13 @@ pub fn serve_conv<R: Rng>(
         )));
     }
     let detail = plan_layer(&spec, level)?;
+    let batch = (setup.batch as usize).max(1);
+    let cap = plan_batch_capacity(&detail);
+    if batch > cap {
+        return Err(SpotError::Protocol(format!(
+            "batch of {batch} images exceeds layer capacity {cap}"
+        )));
+    }
     let elements = galois_elements(&spec, &detail);
     let galois = if elements.is_empty() {
         Arc::new(GaloisKeys::default())
@@ -920,17 +1367,49 @@ pub fn serve_conv<R: Rng>(
     // stall window instead of pre-buffering in the transport while the
     // server is still deserializing rotation keys.
     transport.send(&WireMessage::LayerBarrier { layer: 0 })?;
+    // A batched layer splits one rng per image off the session rng (a
+    // fixed `batch` draws, before any mask), so image `b`'s masks — and
+    // therefore both parties' shares — are bit-identical to an
+    // unbatched run whose server rng was seeded with seed `b`. An
+    // unbatched layer draws nothing here, keeping the canonical
+    // mask-only rng order.
+    let mut batch_rngs: Vec<StdRng> = if batch > 1 {
+        (0..batch)
+            .map(|_| StdRng::seed_from_u64(rng.gen()))
+            .collect()
+    } else {
+        Vec::new()
+    };
     match detail {
         PlanDetail::Channelwise {
             geo,
             layout,
             groups,
         } => serve_channelwise(
-            ctx, transport, kernel, &spec, &geo, &layout, &groups, galois, backend, rng,
+            ctx,
+            transport,
+            kernel,
+            &spec,
+            &geo,
+            &layout,
+            &groups,
+            galois,
+            backend,
+            batch,
+            &mut batch_rngs,
+            rng,
         ),
-        PlanDetail::Cheetah { geo } => {
-            serve_cheetah(ctx, transport, kernel, &spec, &geo, backend, rng)
-        }
+        PlanDetail::Cheetah { geo } => serve_cheetah(
+            ctx,
+            transport,
+            kernel,
+            &spec,
+            &geo,
+            backend,
+            batch,
+            &mut batch_rngs,
+            rng,
+        ),
         PlanDetail::Spot {
             blk,
             probe,
@@ -940,8 +1419,22 @@ pub fn serve_conv<R: Rng>(
             in_maps,
             input_cts,
         } => serve_spot(
-            ctx, transport, kernel, &spec, &blk, &probe, &layouts, &class_cts, &groups, &in_maps,
-            input_cts, galois, backend, rng,
+            ctx,
+            transport,
+            kernel,
+            &spec,
+            &blk,
+            &probe,
+            &layouts,
+            &class_cts,
+            &groups,
+            &in_maps,
+            input_cts,
+            galois,
+            backend,
+            batch,
+            &mut batch_rngs,
+            rng,
         ),
     }
 }
@@ -957,6 +1450,8 @@ fn serve_channelwise<R: Rng>(
     groups: &[GroupSpec],
     galois: Arc<GaloisKeys>,
     backend: &ExecBackend,
+    batch: usize,
+    batch_rngs: &mut [StdRng],
     rng: &mut R,
 ) -> Result<ServerConvSummary, SpotError> {
     let shape = &spec.shape;
@@ -1030,40 +1525,64 @@ fn serve_channelwise<R: Rng>(
         }
     }
 
-    // Mask, send, and keep the server share (masks in output order).
+    // Mask, send, and keep the server shares (masks in output order;
+    // for a batched layer each image's masks come from its own rng, in
+    // the same per-image order as an unbatched run, and the shared
+    // ciphertext is masked by their slot-scattered union).
     let t = ctx.params().plain_modulus();
     let lane = ctx.degree() / 2;
     let oh = shape.out_height();
     let ow = shape.out_width();
-    let mut server_share = Tensor::zeros(shape.c_out, oh, ow);
+    let blayout = channelwise_batch_layout(layout);
+    let mut shares: Vec<Tensor> = (0..batch)
+        .map(|_| Tensor::zeros(shape.c_out, oh, ow))
+        .collect();
     for (k, maybe_ct) in out_cts.into_iter().enumerate() {
         let ct = maybe_ct
             .ok_or_else(|| SpotError::Protocol(format!("output group {k} produced no result")))?;
-        let r = draw_mask(rng, ctx.degree(), t);
-        let masked = engine
-            .evaluator()
-            .sub_plain(&ct, &engine.encoder().encode(&r));
+        let rs: Vec<Vec<u64>> = if batch > 1 {
+            batch_rngs
+                .iter_mut()
+                .map(|r| draw_mask(r, ctx.degree(), t))
+                .collect()
+        } else {
+            vec![draw_mask(rng, ctx.degree(), t)]
+        };
+        let masked = if batch > 1 {
+            let shared = blayout.scatter_masks(&rs);
+            engine
+                .evaluator()
+                .sub_plain(&ct, &engine.encoder().encode(&shared))
+        } else {
+            engine
+                .evaluator()
+                .sub_plain(&ct, &engine.encoder().encode(&rs[0]))
+        };
         counts.add += 1;
         transport.send(&WireMessage::MaskedResult {
             seq: k as u32,
             blob: masked.to_bytes(),
         })?;
-        for (lane_idx, row) in groups[k].out_ch.iter().enumerate() {
-            for (b, ch) in row.iter().enumerate() {
-                let Some(o) = *ch else { continue };
-                for y in 0..oh {
-                    for x in 0..ow {
-                        let idx =
-                            lane_idx * lane + layout.slot(b, 0, y * shape.stride, x * shape.stride);
-                        *server_share.at_mut(o, y, x) = r[idx] as i64;
+        for (img, r) in rs.iter().enumerate() {
+            for (lane_idx, row) in groups[k].out_ch.iter().enumerate() {
+                for (b, ch) in row.iter().enumerate() {
+                    let Some(o) = *ch else { continue };
+                    for y in 0..oh {
+                        for x in 0..ow {
+                            let idx = lane_idx * lane
+                                + layout.slot(b, 0, y * shape.stride, x * shape.stride);
+                            *shares[img].at_mut(o, y, x) = r[idx] as i64;
+                        }
                     }
                 }
             }
         }
     }
 
+    let mut shares = shares.into_iter();
     Ok(ServerConvSummary {
-        server_share,
+        server_share: shares.next().expect("batch >= 1"),
+        extra_shares: shares.collect(),
         counts,
         input_cts: geo.input_cts,
         output_cts: geo.output_cts,
@@ -1071,6 +1590,7 @@ fn serve_channelwise<R: Rng>(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn serve_cheetah<R: Rng>(
     ctx: &Arc<Context>,
     transport: &dyn Transport,
@@ -1078,6 +1598,8 @@ fn serve_cheetah<R: Rng>(
     spec: &LayerSpec,
     geo: &cheetah::CheetahGeometry,
     backend: &ExecBackend,
+    batch: usize,
+    batch_rngs: &mut [StdRng],
     rng: &mut R,
 ) -> Result<ServerConvSummary, SpotError> {
     let shape = &spec.shape;
@@ -1124,24 +1646,24 @@ fn serve_cheetah<R: Rng>(
 
     let oh = shape.out_height();
     let ow = shape.out_width();
-    let mut server_share = Tensor::zeros(shape.c_out, oh, ow);
     let ph = (shape.k_h - 1) / 2;
     let pw = (shape.k_w - 1) / 2;
     let base = (chunk_cap - 1) * s_ch;
     // Masks the accumulated product for output channel `o`, sends it,
-    // and records the server's share — rng strictly in `o` order.
-    let absorb = |o: usize,
+    // and records the server's share — masks strictly in `seq` order.
+    let absorb = |seq: u32,
+                  o: usize,
                   (out_ct, c_local): (Ciphertext, OpCounts),
                   counts: &mut OpCounts,
                   server_share: &mut Tensor,
-                  rng: &mut R|
+                  mask: &mut MaskRng<R>|
      -> Result<(), SpotError> {
         counts.merge(&c_local);
-        let r = draw_mask(rng, n, t);
+        let r = mask.draw(n, t);
         let masked = evaluator.sub_plain(&out_ct, &Plaintext::from_coeffs(r.clone()));
         counts.add += 1;
         transport.send(&WireMessage::MaskedResult {
-            seq: o as u32,
+            seq,
             blob: masked.to_bytes(),
         })?;
         for y in 0..oh {
@@ -1153,45 +1675,71 @@ fn serve_cheetah<R: Rng>(
         Ok(())
     };
 
-    let stream = match backend {
-        ExecBackend::Phased(ex) => {
-            let mut cts = Vec::with_capacity(input_cts);
-            for j in 0..input_cts {
-                cts.push(recv_input_ct(transport, ctx, j, 0)?);
+    // Coefficient packing shares no slots, so a batch is its images in
+    // sequence over one session (sequence numbers keep counting); each
+    // image's masks come from its own per-image rng.
+    let mut shares: Vec<Tensor> = Vec::with_capacity(batch);
+    let mut stream_acc: Option<StreamStats> = None;
+    for b in 0..batch {
+        let mut share_b = Tensor::zeros(shape.c_out, oh, ow);
+        let mut mask = match batch_rngs.get_mut(b) {
+            Some(r) => MaskRng::Image(r),
+            None => MaskRng::Session(&mut *rng),
+        };
+        let seq_in = b * input_cts;
+        let seq_out = (b * shape.c_out) as u32;
+        match backend {
+            ExecBackend::Phased(ex) => {
+                let mut cts = Vec::with_capacity(input_cts);
+                for j in 0..input_cts {
+                    cts.push(recv_input_ct(transport, ctx, seq_in + j, 0)?);
+                }
+                let out_channels: Vec<usize> = (0..shape.c_out).collect();
+                let accumulated = ex.run(&out_channels, |_, &o| product_for(o, &cts));
+                for (o, acc) in accumulated.into_iter().enumerate() {
+                    absorb(
+                        seq_out + o as u32,
+                        o,
+                        acc,
+                        &mut counts,
+                        &mut share_b,
+                        &mut mask,
+                    )?;
+                }
             }
-            let out_channels: Vec<usize> = (0..shape.c_out).collect();
-            let accumulated = ex.run(&out_channels, |_, &o| product_for(o, &cts));
-            for (o, acc) in accumulated.into_iter().enumerate() {
-                absorb(o, acc, &mut counts, &mut server_share, rng)?;
+            ExecBackend::Streaming(cfg) => {
+                let counts_ref = &mut counts;
+                let share_ref = &mut share_b;
+                let mask_ref = &mut mask;
+                let stats = run_stream_barrier(
+                    cfg,
+                    shape.c_out,
+                    |feeder| {
+                        for j in 0..input_cts {
+                            feeder.push(recv_input_ct(transport, ctx, seq_in + j, 0)?)?;
+                        }
+                        Ok(())
+                    },
+                    |o, inputs: &[Ciphertext]| product_for(o, inputs),
+                    |o, acc| absorb(seq_out + o as u32, o, acc, counts_ref, share_ref, mask_ref),
+                )?;
+                match &mut stream_acc {
+                    None => stream_acc = Some(stats),
+                    Some(acc) => acc.accumulate(&stats),
+                }
             }
-            None
         }
-        ExecBackend::Streaming(cfg) => {
-            let counts_ref = &mut counts;
-            let share_ref = &mut server_share;
-            let rng_ref = &mut *rng;
-            let stats = run_stream_barrier(
-                cfg,
-                shape.c_out,
-                |feeder| {
-                    for j in 0..input_cts {
-                        feeder.push(recv_input_ct(transport, ctx, j, 0)?)?;
-                    }
-                    Ok(())
-                },
-                |o, inputs: &[Ciphertext]| product_for(o, inputs),
-                |o, acc| absorb(o, acc, counts_ref, share_ref, rng_ref),
-            )?;
-            Some(stats)
-        }
-    };
+        shares.push(share_b);
+    }
 
+    let mut shares = shares.into_iter();
     Ok(ServerConvSummary {
-        server_share,
+        server_share: shares.next().expect("batch >= 1"),
+        extra_shares: shares.collect(),
         counts,
-        input_cts,
-        output_cts: shape.c_out,
-        stream,
+        input_cts: batch * input_cts,
+        output_cts: batch * shape.c_out,
+        stream: stream_acc,
     })
 }
 
@@ -1210,12 +1758,21 @@ fn serve_spot<R: Rng>(
     input_cts: usize,
     galois: Arc<GaloisKeys>,
     backend: &ExecBackend,
+    batch: usize,
+    batch_rngs: &mut [StdRng],
     rng: &mut R,
 ) -> Result<ServerConvSummary, SpotError> {
     let shape = &spec.shape;
     let t = ctx.params().plain_modulus();
     let n = ctx.degree();
     let out_groups = groups.len();
+    // Per-class batch layouts for scattering per-image masks into the
+    // shared result ciphertexts (unused when the batch is one image).
+    let blayouts: Vec<BatchLayout> = layouts
+        .iter()
+        .zip(&probe.classes)
+        .map(|(lay, (_class, pieces))| spot_batch_layout(blk, lay, pieces.len()))
+        .collect();
     // One engine per class: the layouts differ, so sharing the
     // NTT-domain kernel cache (keyed by `cache_tag` = 0 within a class)
     // across classes would collide.
@@ -1247,52 +1804,74 @@ fn serve_spot<R: Rng>(
     };
 
     let mut counts = OpCounts::default();
-    let mut server_pieces: Vec<Tensor> = Vec::new();
+    let mut server_pieces: Vec<Vec<Tensor>> = vec![Vec::new(); batch];
     let mut seq_out = 0u32;
 
     // Per-class consumer state: masks drawn per (ciphertext, group) in
-    // global order; a completed class unpacks into piece shares.
-    let mut group_server: Vec<Vec<Vec<u64>>> = vec![Vec::new(); out_groups];
+    // global order — one draw per image at each event, so every image's
+    // rng sees the unbatched order — and a completed class unpacks into
+    // per-image piece shares.
+    let mut group_server: Vec<Vec<Vec<Vec<u64>>>> = vec![vec![Vec::new(); out_groups]; batch];
     let mut seen_cts = 0usize;
     let absorb_ct = |ci: usize,
                      outs: Vec<Ciphertext>,
                      c: OpCounts,
                      counts: &mut OpCounts,
-                     group_server: &mut Vec<Vec<Vec<u64>>>,
+                     group_server: &mut Vec<Vec<Vec<Vec<u64>>>>,
                      seen_cts: &mut usize,
-                     server_pieces: &mut Vec<Tensor>,
+                     server_pieces: &mut Vec<Vec<Tensor>>,
                      seq_out: &mut u32,
+                     batch_rngs: &mut [StdRng],
                      rng: &mut R|
      -> Result<(), SpotError> {
         counts.merge(&c);
         for (g, out_ct) in outs.into_iter().enumerate() {
-            let r = draw_mask(rng, n, t);
-            let masked = engines[ci]
-                .evaluator()
-                .sub_plain(&out_ct, &engines[ci].encoder().encode(&r));
-            counts.add += 1;
-            transport.send(&WireMessage::MaskedResult {
-                seq: *seq_out,
-                blob: masked.to_bytes(),
-            })?;
-            *seq_out += 1;
-            group_server[g].push(r);
+            if batch > 1 {
+                let rs: Vec<Vec<u64>> = batch_rngs.iter_mut().map(|r| draw_mask(r, n, t)).collect();
+                let shared = blayouts[ci].scatter_masks(&rs);
+                let masked = engines[ci]
+                    .evaluator()
+                    .sub_plain(&out_ct, &engines[ci].encoder().encode(&shared));
+                counts.add += 1;
+                transport.send(&WireMessage::MaskedResult {
+                    seq: *seq_out,
+                    blob: masked.to_bytes(),
+                })?;
+                *seq_out += 1;
+                for (img, r) in rs.into_iter().enumerate() {
+                    group_server[img][g].push(r);
+                }
+            } else {
+                let r = draw_mask(rng, n, t);
+                let masked = engines[ci]
+                    .evaluator()
+                    .sub_plain(&out_ct, &engines[ci].encoder().encode(&r));
+                counts.add += 1;
+                transport.send(&WireMessage::MaskedResult {
+                    seq: *seq_out,
+                    blob: masked.to_bytes(),
+                })?;
+                *seq_out += 1;
+                group_server[0][g].push(r);
+            }
         }
         *seen_cts += 1;
         if *seen_cts == class_cts[ci] {
             let (class, pieces) = &probe.classes[ci];
-            server_pieces.extend(spot::unpack_class_share(
-                blk,
-                &layouts[ci],
-                pieces.len(),
-                class.h,
-                class.w,
-                shape.c_out,
-                t,
-                group_server,
-            ));
-            for gs in group_server.iter_mut() {
-                gs.clear();
+            for (img, gs) in group_server.iter_mut().enumerate() {
+                server_pieces[img].extend(spot::unpack_class_share(
+                    blk,
+                    &layouts[ci],
+                    pieces.len(),
+                    class.h,
+                    class.w,
+                    shape.c_out,
+                    t,
+                    gs,
+                ));
+                for slots in gs.iter_mut() {
+                    slots.clear();
+                }
             }
             *seen_cts = 0;
         }
@@ -1318,6 +1897,7 @@ fn serve_spot<R: Rng>(
                         &mut seen_cts,
                         &mut server_pieces,
                         &mut seq_out,
+                        &mut *batch_rngs,
                         rng,
                     )?;
                 }
@@ -1330,6 +1910,7 @@ fn serve_spot<R: Rng>(
             let seen_ref = &mut seen_cts;
             let pieces_ref = &mut server_pieces;
             let seq_ref = &mut seq_out;
+            let batch_rngs_ref = &mut *batch_rngs;
             let rng_ref = &mut *rng;
             let ct_class_ref = &ct_class;
             let conv_one_ref = &conv_one;
@@ -1364,6 +1945,7 @@ fn serve_spot<R: Rng>(
                         seen_ref,
                         pieces_ref,
                         seq_ref,
+                        batch_rngs_ref,
                         rng_ref,
                     )
                 },
@@ -1374,16 +1956,19 @@ fn serve_spot<R: Rng>(
 
     // Classes with zero pieces never trigger the unpack above; they
     // also contribute no pieces to the assembly, so nothing is lost.
-    let full = crate::patching::assemble(probe, &server_pieces, shape.height, shape.width);
-    let server_share = Tensor::from_fn(
-        shape.c_out,
-        shape.out_height(),
-        shape.out_width(),
-        |c, y, x| full.at(c, y * shape.stride, x * shape.stride),
-    );
+    let mut shares = server_pieces.into_iter().map(|pieces| {
+        let full = crate::patching::assemble(probe, &pieces, shape.height, shape.width);
+        Tensor::from_fn(
+            shape.c_out,
+            shape.out_height(),
+            shape.out_width(),
+            |c, y, x| full.at(c, y * shape.stride, x * shape.stride),
+        )
+    });
 
     Ok(ServerConvSummary {
-        server_share,
+        server_share: shares.next().expect("batch >= 1"),
+        extra_shares: shares.collect(),
         counts,
         input_cts,
         output_cts: input_cts * out_groups,
@@ -1410,6 +1995,52 @@ pub struct InProcessOutcome {
     pub downlink: TrafficStats,
 }
 
+/// Result of an in-process batched client/server run: per-image shares
+/// plus the per-batch operation counts and traffic.
+#[derive(Debug)]
+pub struct BatchConvOutcome {
+    /// Each image's client share, in submission order.
+    pub client_shares: Vec<Tensor>,
+    /// Each image's server share, in submission order.
+    pub server_shares: Vec<Tensor>,
+    /// HE operations for the whole batch (slot batching leaves the
+    /// rotation and key-switch counts at their single-image values).
+    pub counts: OpCounts,
+    /// Input ciphertexts uploaded for the whole batch.
+    pub input_cts: usize,
+    /// Masked result ciphertexts returned for the whole batch.
+    pub output_cts: usize,
+    /// Plaintext modulus the shares live in.
+    pub modulus: u64,
+    /// Streaming stall accounting (None for the phased backend).
+    pub stream: Option<StreamStats>,
+    /// Client → server traffic (framed wire bytes).
+    pub uplink: TrafficStats,
+    /// Server → client traffic (framed wire bytes).
+    pub downlink: TrafficStats,
+}
+
+impl BatchConvOutcome {
+    /// Per-image functional results. Operation and ciphertext counts
+    /// are per batch and repeat on every image's result.
+    pub fn into_results(self) -> Vec<SecureConvResult> {
+        let counts = self.counts;
+        let (input_cts, output_cts, modulus) = (self.input_cts, self.output_cts, self.modulus);
+        self.client_shares
+            .into_iter()
+            .zip(self.server_shares)
+            .map(|(client_share, server_share)| SecureConvResult {
+                client_share,
+                server_share,
+                counts,
+                input_cts,
+                output_cts,
+                modulus,
+            })
+            .collect()
+    }
+}
+
 /// Runs one secure convolution with both parties in this process over a
 /// [`MemTransport`], exchanging real serialized frames.
 ///
@@ -1432,12 +2063,59 @@ pub fn run_in_process<R: Rng>(
     backend: &ExecBackend,
     rng: &mut R,
 ) -> Result<InProcessOutcome, SpotError> {
+    let mut out = run_in_process_batched(
+        ctx,
+        keygen,
+        std::slice::from_ref(input),
+        kernel,
+        stride,
+        patch,
+        mode,
+        scheme,
+        backend,
+        rng,
+    )?;
+    Ok(InProcessOutcome {
+        result: SecureConvResult {
+            client_share: out.client_shares.remove(0),
+            server_share: out.server_shares.remove(0),
+            counts: out.counts,
+            input_cts: out.input_cts,
+            output_cts: out.output_cts,
+            modulus: out.modulus,
+        },
+        stream: out.stream,
+        uplink: out.uplink,
+        downlink: out.downlink,
+    })
+}
+
+/// [`run_in_process`] over a batch of images coalesced into shared
+/// ciphertexts (see [`ClientConv::send_all_batched`]). A one-image
+/// batch is bit- and byte-identical to [`run_in_process`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_in_process_batched<R: Rng>(
+    ctx: &Arc<Context>,
+    keygen: &KeyGenerator,
+    inputs: &[Tensor],
+    kernel: &Kernel,
+    stride: usize,
+    patch: (usize, usize),
+    mode: PatchMode,
+    scheme: SchemeKind,
+    backend: &ExecBackend,
+    rng: &mut R,
+) -> Result<BatchConvOutcome, SpotError> {
+    let first = inputs
+        .first()
+        .ok_or_else(|| SpotError::Protocol("empty input batch".into()))?;
+    let batch = inputs.len();
     let spec = LayerSpec {
         scheme,
         shape: ConvShape {
-            width: input.width(),
-            height: input.height(),
-            c_in: input.channels(),
+            width: first.width(),
+            height: first.height(),
+            c_in: first.channels(),
             c_out: kernel.out_channels(),
             k_h: kernel.k_h(),
             k_w: kernel.k_w(),
@@ -1454,10 +2132,10 @@ pub fn run_in_process<R: Rng>(
         ExecBackend::Phased(_) => {
             let (ct, st) = MemTransport::pair();
             let mut crng = StdRng::seed_from_u64(client_seed);
-            let sent = client.send_all(&ct, input, UploadPacing::Eager, &mut crng)?;
+            let sent = client.send_all_batched(&ct, inputs, UploadPacing::Eager, &mut crng)?;
             let mut srng = StdRng::seed_from_u64(server_seed);
             let server = serve_conv(ctx, &st, kernel, backend, &mut srng)?;
-            let share = client.absorb_all(&ct)?;
+            let share = client.absorb_all_batched(&ct, batch)?;
             (sent, server, share, ct)
         }
         ExecBackend::Streaming(cfg) => {
@@ -1468,9 +2146,9 @@ pub fn run_in_process<R: Rng>(
             let scope_result = crossbeam::thread::scope(|s| {
                 let uploader = s.spawn(move |_| {
                     let t0 = Instant::now();
-                    let r = client_ref.send_all(
+                    let r = client_ref.send_all_batched(
                         ct_ref,
-                        input,
+                        inputs,
                         UploadPacing::AwaitAck,
                         &mut StdRng::seed_from_u64(client_seed),
                     );
@@ -1503,7 +2181,7 @@ pub fn run_in_process<R: Rng>(
                 stats.client_blocked_s = blocked;
                 stats.client_s = (client_wall.as_secs_f64() - blocked).max(0.0);
             }
-            let share = client.absorb_all(&ct)?;
+            let share = client.absorb_all_batched(&ct, batch)?;
             (sent, server, share, ct)
         }
     };
@@ -1511,16 +2189,17 @@ pub fn run_in_process<R: Rng>(
     let mut counts = server.counts;
     counts.encrypt += sent.encrypt;
     counts.decrypt += share.decrypt;
+    let mut server_shares = Vec::with_capacity(batch);
+    server_shares.push(server.server_share);
+    server_shares.append(&mut server.extra_shares);
     let tstats = client_transport.stats();
-    Ok(InProcessOutcome {
-        result: SecureConvResult {
-            client_share: share.share,
-            server_share: server.server_share,
-            counts,
-            input_cts: server.input_cts,
-            output_cts: server.output_cts,
-            modulus: ctx.params().plain_modulus(),
-        },
+    Ok(BatchConvOutcome {
+        client_shares: share.shares,
+        server_shares,
+        counts,
+        input_cts: server.input_cts,
+        output_cts: server.output_cts,
+        modulus: ctx.params().plain_modulus(),
         stream: server.stream.take(),
         uplink: tstats.sent,
         downlink: tstats.received,

@@ -25,7 +25,7 @@ use crate::executor::Executor;
 use crate::heconv::{ChannelMap, GroupSpec};
 use crate::layout::{next_pow2, unpack_pieces, unpack_pieces_split, LaneLayout};
 use crate::patching::{decompose, PatchMode};
-use crate::session::{run_in_process, ExecBackend, SchemeKind};
+use crate::session::{run_in_process, run_in_process_batched, ExecBackend, SchemeKind};
 use crate::stream::{StreamConfig, StreamStats};
 use rand::Rng;
 use spot_he::context::Context;
@@ -314,6 +314,44 @@ pub fn execute_streaming<R: Rng + Send>(
         .stream
         .expect("streaming backend reports stall stats");
     (outcome.result, stats)
+}
+
+/// [`execute_streaming`] over a batch of same-shape images coalesced
+/// into shared ciphertexts (see
+/// [`crate::session::ClientConv::send_all_batched`]): one streamed
+/// session serves every image, with the per-batch rotation and
+/// key-switch counts of a single image. Returns each image's
+/// functional result in submission order plus the run's stall stats.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_streaming_batched<R: Rng + Send>(
+    ctx: &Arc<Context>,
+    keygen: &KeyGenerator,
+    inputs: &[Tensor],
+    kernel: &Kernel,
+    stride: usize,
+    patch: (usize, usize),
+    mode: PatchMode,
+    config: &StreamConfig,
+    rng: &mut R,
+) -> (Vec<SecureConvResult>, StreamStats) {
+    let outcome = run_in_process_batched(
+        ctx,
+        keygen,
+        inputs,
+        kernel,
+        stride,
+        patch,
+        mode,
+        SchemeKind::Spot,
+        &ExecBackend::Streaming(*config),
+        rng,
+    )
+    .expect("in-process batched SPOT session");
+    let stats = outcome
+        .stream
+        .clone()
+        .expect("streaming backend reports stall stats");
+    (outcome.into_results(), stats)
 }
 
 /// Piece-class geometry used by the planner.

@@ -634,6 +634,138 @@ where
     Ok(stats)
 }
 
+// ---------------------------------------------------------------------
+// Cross-image batch assembler
+// ---------------------------------------------------------------------
+
+struct AssemblerState<T> {
+    /// Queued items with their arrival times (front = oldest).
+    items: VecDeque<(Instant, T)>,
+    closed: bool,
+}
+
+/// Coalesces queued inference requests into batches for the cross-image
+/// SIMD-slot batching path ([`crate::session::run_in_process_batched`]).
+///
+/// Submitters enqueue items as they arrive; the dispatch loop calls
+/// [`BatchAssembler::next_batch`], which returns as soon as `capacity`
+/// items are queued — or once the **oldest** queued item has waited
+/// `latency_cap`, whatever is queued by then. A lone request is
+/// therefore never starved waiting for company: its worst-case queueing
+/// delay is the latency cap, and under load batches fill instantly.
+pub struct BatchAssembler<T> {
+    state: Mutex<AssemblerState<T>>,
+    nonempty: Condvar,
+    capacity: usize,
+    latency_cap: Duration,
+}
+
+impl<T> BatchAssembler<T> {
+    /// An assembler forming batches of at most `capacity` items
+    /// (clamped to ≥ 1, typically [`ClientConv::batch_capacity`]),
+    /// releasing partial batches after `latency_cap`.
+    ///
+    /// [`ClientConv::batch_capacity`]: crate::session::ClientConv::batch_capacity
+    pub fn new(capacity: usize, latency_cap: Duration) -> Self {
+        Self {
+            state: Mutex::new(AssemblerState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            nonempty: Condvar::new(),
+            capacity: capacity.max(1),
+            latency_cap,
+        }
+    }
+
+    /// The batch-width bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The partial-batch release deadline.
+    pub fn latency_cap(&self) -> Duration {
+        self.latency_cap
+    }
+
+    /// Enqueues one item. Fails once the assembler is closed.
+    pub fn submit(&self, item: T) -> Result<(), SpotError> {
+        let mut st = self
+            .state
+            .lock()
+            .map_err(|_| SpotError::Poisoned("batch assembler"))?;
+        if st.closed {
+            return Err(SpotError::Disconnected("submit on closed batch assembler"));
+        }
+        st.items.push_back((Instant::now(), item));
+        let depth = st.items.len() as u64;
+        drop(st);
+        self.nonempty.notify_all();
+        gauge(Cat::Stream, "batch_queue_depth", depth);
+        Ok(())
+    }
+
+    /// Queued items not yet taken into a batch.
+    pub fn queued(&self) -> usize {
+        self.state.lock().map(|st| st.items.len()).unwrap_or(0)
+    }
+
+    /// Closes the assembler: submitters get an error; `next_batch`
+    /// drains what is queued, then returns `None`. Idempotent.
+    pub fn close(&self) {
+        if let Ok(mut st) = self.state.lock() {
+            st.closed = true;
+        }
+        self.nonempty.notify_all();
+    }
+
+    /// Blocks for the next batch, in submission order: returns up to
+    /// `capacity` items as soon as they are queued, a partial batch
+    /// once the oldest queued item has waited `latency_cap` (or the
+    /// assembler closes), and `None` once closed and drained.
+    pub fn next_batch(&self) -> Result<Option<Vec<T>>, SpotError> {
+        let mut st = self
+            .state
+            .lock()
+            .map_err(|_| SpotError::Poisoned("batch assembler"))?;
+        loop {
+            if st.items.len() >= self.capacity || (st.closed && !st.items.is_empty()) {
+                return Ok(Some(Self::drain(&mut st, self.capacity)));
+            }
+            if st.closed {
+                return Ok(None);
+            }
+            match st.items.front() {
+                Some(&(arrived, _)) => {
+                    let deadline = arrived + self.latency_cap;
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Ok(Some(Self::drain(&mut st, self.capacity)));
+                    }
+                    st = self
+                        .nonempty
+                        .wait_timeout(st, deadline - now)
+                        .map_err(|_| SpotError::Poisoned("batch assembler"))?
+                        .0;
+                }
+                None => {
+                    st = self
+                        .nonempty
+                        .wait(st)
+                        .map_err(|_| SpotError::Poisoned("batch assembler"))?;
+                }
+            }
+        }
+    }
+
+    fn drain(st: &mut AssemblerState<T>, capacity: usize) -> Vec<T> {
+        let take = st.items.len().min(capacity);
+        let batch: Vec<T> = st.items.drain(..take).map(|(_, item)| item).collect();
+        count(Counter::QueuePopped, batch.len() as u64);
+        batch
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -838,5 +970,68 @@ mod tests {
         let cfg = StreamConfig::for_client(Executor::new(4), &client, ct_bytes);
         assert_eq!(cfg.channel_capacity, 3);
         assert_eq!(StreamConfig::new(Executor::serial(), 0).channel_capacity, 1);
+    }
+
+    #[test]
+    fn assembler_full_batch_released_immediately() {
+        // A long latency cap must not delay a full batch.
+        let asm: BatchAssembler<u32> = BatchAssembler::new(2, Duration::from_secs(60));
+        for v in 0..5 {
+            asm.submit(v).unwrap();
+        }
+        let t0 = Instant::now();
+        assert_eq!(asm.next_batch().unwrap(), Some(vec![0, 1]));
+        assert_eq!(asm.next_batch().unwrap(), Some(vec![2, 3]));
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert_eq!(asm.queued(), 1);
+        asm.close();
+        assert_eq!(asm.next_batch().unwrap(), Some(vec![4]));
+        assert_eq!(asm.next_batch().unwrap(), None);
+    }
+
+    #[test]
+    fn assembler_latency_cap_releases_lone_item() {
+        let asm: BatchAssembler<u32> = BatchAssembler::new(8, Duration::from_millis(30));
+        asm.submit(7).unwrap();
+        let t0 = Instant::now();
+        assert_eq!(asm.next_batch().unwrap(), Some(vec![7]));
+        let waited = t0.elapsed();
+        assert!(
+            waited >= Duration::from_millis(25),
+            "partial batch released after {waited:?}, before the cap"
+        );
+    }
+
+    #[test]
+    fn assembler_submit_after_close_errors() {
+        let asm: BatchAssembler<u32> = BatchAssembler::new(4, Duration::ZERO);
+        asm.close();
+        assert!(matches!(asm.submit(1), Err(SpotError::Disconnected(_))));
+        assert_eq!(asm.next_batch().unwrap(), None);
+    }
+
+    #[test]
+    fn assembler_preserves_submission_order_across_threads() {
+        let asm: BatchAssembler<u32> = BatchAssembler::new(3, Duration::from_millis(10));
+        let collected = Mutex::new(Vec::new());
+        thread::scope(|s| {
+            let asm = &asm;
+            let collected = &collected;
+            s.spawn(move |_| {
+                for v in 0..20u32 {
+                    asm.submit(v).unwrap();
+                    if v % 7 == 0 {
+                        std::thread::sleep(Duration::from_millis(3));
+                    }
+                }
+                asm.close();
+            });
+            while let Some(batch) = asm.next_batch().unwrap() {
+                assert!(!batch.is_empty() && batch.len() <= 3);
+                collected.lock().unwrap().extend(batch);
+            }
+        })
+        .unwrap();
+        assert_eq!(collected.into_inner().unwrap(), (0..20).collect::<Vec<_>>());
     }
 }

@@ -146,17 +146,19 @@ fn client_reveal(
         .collect())
 }
 
-/// One secure convolution from the client's side, uploading and
-/// absorbing concurrently so a socket transport never deadlocks on
-/// full buffers in both directions.
-fn client_conv<R: Rng + Send>(
+/// One secure convolution session from the client's side carrying a
+/// whole batch of images, uploading and absorbing concurrently so a
+/// socket transport never deadlocks on full buffers in both
+/// directions. A one-image batch produces byte-identical traffic to
+/// the original single-image session.
+fn client_conv_batch<R: Rng + Send>(
     ctx: &Arc<Context>,
     keygen: &KeyGenerator,
     transport: &dyn Transport,
-    input: &Tensor,
+    inputs: &[Tensor],
     spec: LayerSpec,
     rng: &mut R,
-) -> Result<(Tensor, u64, u64), SpotError> {
+) -> Result<Vec<Tensor>, SpotError> {
     let conv = ClientConv::new(ctx, keygen, spec)?;
     let conv_ref = &conv;
     let scope_result = crossbeam::thread::scope(|s| {
@@ -164,11 +166,11 @@ fn client_conv<R: Rng + Send>(
             // Eager pacing: TCP's own flow control paces a real link,
             // and the concurrent absorber below must own every recv.
             spot_trace::set_thread_label("uploader");
-            let sent = conv_ref.send_all(transport, input, UploadPacing::Eager, rng);
+            let sent = conv_ref.send_all_batched(transport, inputs, UploadPacing::Eager, rng);
             spot_trace::flush_thread();
             sent
         });
-        let share = conv_ref.absorb_all(transport);
+        let share = conv_ref.absorb_all_batched(transport, inputs.len());
         let sent = uploader.join().expect("upload thread panicked");
         (sent, share)
     });
@@ -176,9 +178,8 @@ fn client_conv<R: Rng + Send>(
         Ok(v) => v,
         Err(payload) => std::panic::resume_unwind(payload),
     };
-    let sent = sent?;
-    let share = share?;
-    Ok((share.share, sent.encrypt, share.decrypt))
+    sent?;
+    Ok(share?.shares)
 }
 
 /// Client half of the two-party TinyCnn demo. `arch` provides the
@@ -198,6 +199,48 @@ pub fn run_client<R: Rng + Send>(
     mode: PatchMode,
     rng: &mut R,
 ) -> Result<Tensor, SpotError> {
+    let mut outputs = run_client_batch(
+        ctx,
+        keygen,
+        transport,
+        std::slice::from_ref(input),
+        arch,
+        scheme,
+        patch,
+        mode,
+        rng,
+    )?;
+    Ok(outputs.remove(0))
+}
+
+/// Client half of the two-party TinyCnn demo over a *batch* of queued
+/// inputs: both convolutions run as single batched HE sessions (shared
+/// ciphertexts, so rotations and key-switches amortize across the
+/// batch), while the non-linear rounds stay per image.
+///
+/// Per-image OT round numbering is `b` (ReLU 1), `batch + b`
+/// (max-pool), `2·batch + b` (ReLU 2), which degenerates to the
+/// classic `0, 1, 2` sequence at `batch = 1` — a one-image batch is
+/// byte-identical on the wire to [`run_client`]'s historic traffic.
+///
+/// Returns the reconstructed network output per image, in submission
+/// order.
+#[allow(clippy::too_many_arguments)]
+pub fn run_client_batch<R: Rng + Send>(
+    ctx: &Arc<Context>,
+    keygen: &KeyGenerator,
+    transport: &dyn Transport,
+    inputs: &[Tensor],
+    arch: &TinyCnn,
+    scheme: SchemeKind,
+    patch: (usize, usize),
+    mode: PatchMode,
+    rng: &mut R,
+) -> Result<Vec<Tensor>, SpotError> {
+    if inputs.is_empty() {
+        return Err(SpotError::Protocol("empty input batch".into()));
+    }
+    let batch = inputs.len();
     let t = ctx.params().plain_modulus();
     let spec_for = |input: &Tensor, c_out: usize, k: usize| LayerSpec {
         scheme,
@@ -214,52 +257,66 @@ pub fn run_client<R: Rng + Send>(
         mode,
     };
 
-    // conv1 under HE.
-    let spec1 = spec_for(input, arch.conv1.out_channels(), arch.conv1.k_h());
-    let (share1, _, _) = client_conv(ctx, keygen, transport, input, spec1, rng)?;
-    let (c1, h1, w1) = (share1.channels(), share1.height(), share1.width());
+    // conv1 under HE, one batched session for all images.
+    let spec1 = spec_for(&inputs[0], arch.conv1.out_channels(), arch.conv1.k_h());
+    let shares1 = client_conv_batch(ctx, keygen, transport, inputs, spec1, rng)?;
+    let (c1, h1, w1) = (
+        shares1[0].channels(),
+        shares1[0].height(),
+        shares1[0].width(),
+    );
 
-    // ReLU, then 2×2 max-pool, on shares.
-    let c = client_round(
-        transport,
-        OP_RELU,
-        0,
-        encode_share(&tensor_to_mod(&share1, t)),
-    )?;
-    let mut pooled = Vec::with_capacity(12 + c.len() * 8);
-    for d in [c1 as u32, h1 as u32, w1 as u32] {
-        pooled.extend_from_slice(&d.to_le_bytes());
+    // ReLU, then 2×2 max-pool, on shares — per image, then the layer
+    // boundary reveal reconstructs each mid tensor in turn.
+    let mut mids = Vec::with_capacity(batch);
+    for (b, share1) in shares1.iter().enumerate() {
+        let c = client_round(
+            transport,
+            OP_RELU,
+            b as u16,
+            encode_share(&tensor_to_mod(share1, t)),
+        )?;
+        let mut pooled = Vec::with_capacity(12 + c.len() * 8);
+        for d in [c1 as u32, h1 as u32, w1 as u32] {
+            pooled.extend_from_slice(&d.to_le_bytes());
+        }
+        pooled.extend_from_slice(&encode_share(&c));
+        let c = client_round(transport, OP_MAXPOOL, (batch + b) as u16, pooled)?;
+        let mid_vals = client_reveal(transport, &c, t)?;
+        mids.push(Tensor::from_vec(c1, h1 / 2, w1 / 2, mid_vals));
     }
-    pooled.extend_from_slice(&encode_share(&c));
-    let c = client_round(transport, OP_MAXPOOL, 1, pooled)?;
 
-    // Layer boundary: reconstruct the mid tensor from the revealed
-    // server share, as the in-process driver does.
-    let mid_vals = client_reveal(transport, &c, t)?;
-    let mid = Tensor::from_vec(c1, h1 / 2, w1 / 2, mid_vals);
-
-    // conv2 under HE, ReLU, final reveal.
-    let spec2 = spec_for(&mid, arch.conv2.out_channels(), arch.conv2.k_h());
-    let (share2, _, _) = client_conv(ctx, keygen, transport, &mid, spec2, rng)?;
-    let (c2, h2, w2) = (share2.channels(), share2.height(), share2.width());
-    let c = client_round(
-        transport,
-        OP_RELU,
-        2,
-        encode_share(&tensor_to_mod(&share2, t)),
-    )?;
-    let out_vals = client_reveal(transport, &c, t)?;
-    let output = Tensor::from_vec(c2, h2, w2, out_vals);
+    // conv2 under HE (batched), ReLU, final reveal per image.
+    let spec2 = spec_for(&mids[0], arch.conv2.out_channels(), arch.conv2.k_h());
+    let shares2 = client_conv_batch(ctx, keygen, transport, &mids, spec2, rng)?;
+    let (c2, h2, w2) = (
+        shares2[0].channels(),
+        shares2[0].height(),
+        shares2[0].width(),
+    );
+    let mut outputs = Vec::with_capacity(batch);
+    for (b, share2) in shares2.iter().enumerate() {
+        let c = client_round(
+            transport,
+            OP_RELU,
+            (2 * batch + b) as u16,
+            encode_share(&tensor_to_mod(share2, t)),
+        )?;
+        let out_vals = client_reveal(transport, &c, t)?;
+        outputs.push(Tensor::from_vec(c2, h2, w2, out_vals));
+    }
 
     transport.send(&WireMessage::Teardown)?;
     transport.close_tx();
-    Ok(output)
+    Ok(outputs)
 }
 
 /// Server-side outcome of a two-party TinyCnn run.
 #[derive(Debug, Clone)]
 pub struct ServerReport {
-    /// HE operation counts over both convolution layers.
+    /// HE operation counts over both convolution layers (totals for the
+    /// whole batch; divide by [`batch`](Self::batch) for per-image
+    /// amortized figures).
     pub counts: OpCounts,
     /// Accumulated stall accounting (zero for the phased backend).
     pub stream: StreamStats,
@@ -267,6 +324,9 @@ pub struct ServerReport {
     pub input_cts: usize,
     /// Masked result ciphertexts sent across all conv layers.
     pub output_cts: usize,
+    /// Images carried by the batched convolution sessions (1 for a
+    /// classic single-image run).
+    pub batch: usize,
 }
 
 /// Expects the next message to be the given non-linear round; returns
@@ -307,10 +367,93 @@ fn reshare<R: Rng>(values: &[i64], t: u64, rng: &mut R) -> (Vec<u64>, Vec<u64>) 
     (server, client)
 }
 
+/// One ReLU round from the server's side: reconstruct, clamp, reshare.
+/// Returns the server's fresh share of the result.
+fn server_relu_round<R: Rng>(
+    transport: &dyn Transport,
+    round: u16,
+    server_share: &[u64],
+    t: u64,
+    rng: &mut R,
+) -> Result<Vec<u64>, SpotError> {
+    let _span = spot_trace::span(Cat::Session, "relu round").arg("round", round as u64);
+    let blob = server_expect_round(transport, OP_RELU, round)?;
+    let client_share = decode_share(&blob)?;
+    if client_share.len() != server_share.len() {
+        return Err(SpotError::Protocol(format!(
+            "relu share length {} does not match server share {}",
+            client_share.len(),
+            server_share.len()
+        )));
+    }
+    let relu: Vec<i64> = client_share
+        .iter()
+        .zip(server_share)
+        .map(|(&c, &s)| centered((c + s) % t, t).max(0))
+        .collect();
+    let (srv, cli) = reshare(&relu, t, rng);
+    transport.send(&WireMessage::OtRound {
+        op: OP_RELU,
+        round,
+        blob: encode_share(&cli),
+    })?;
+    Ok(srv)
+}
+
+/// One 2×2 max-pool round from the server's side (client payload is
+/// prefixed with the tensor dims, validated against `dims`). Returns
+/// the server's fresh share of the pooled result.
+fn server_maxpool_round<R: Rng>(
+    transport: &dyn Transport,
+    round: u16,
+    dims: (usize, usize, usize),
+    server_share: &[u64],
+    t: u64,
+    rng: &mut R,
+) -> Result<Vec<u64>, SpotError> {
+    let _span = spot_trace::span(Cat::Session, "maxpool round").arg("round", round as u64);
+    let blob = server_expect_round(transport, OP_MAXPOOL, round)?;
+    if blob.len() < 12 {
+        return Err(SpotError::Protocol("maxpool payload too short".into()));
+    }
+    let dim = |i: usize| {
+        u32::from_le_bytes(blob[i * 4..i * 4 + 4].try_into().expect("4-byte dim")) as usize
+    };
+    let (pc, ph, pw) = (dim(0), dim(1), dim(2));
+    let client_share = decode_share(&blob[12..])?;
+    if (pc, ph, pw) != dims || client_share.len() != pc * ph * pw {
+        return Err(SpotError::Protocol(format!(
+            "maxpool dims {pc}x{ph}x{pw} (len {}) do not match layer {}x{}x{}",
+            client_share.len(),
+            dims.0,
+            dims.1,
+            dims.2
+        )));
+    }
+    let vals: Vec<i64> = client_share
+        .iter()
+        .zip(server_share)
+        .map(|(&c, &s)| centered((c + s) % t, t))
+        .collect();
+    let pooled = spot_tensor::conv::maxpool2(&Tensor::from_vec(pc, ph, pw, vals));
+    let (srv, cli) = reshare(pooled.data(), t, rng);
+    transport.send(&WireMessage::OtRound {
+        op: OP_MAXPOOL,
+        round,
+        blob: encode_share(&cli),
+    })?;
+    Ok(srv)
+}
+
 /// Server half of the two-party TinyCnn demo: serves both convolution
 /// sessions, evaluates the non-linear rounds on reconstructed values
 /// (see the module-level demo-simplification note), and reveals its
 /// share at layer boundaries.
+///
+/// The batch width is learned from the client's conv1 `Setup` (the
+/// session layer returns one server share per batched image); the
+/// non-linear rounds then run per image with the round numbering
+/// described on [`run_client_batch`].
 pub fn run_server<R: Rng>(
     ctx: &Arc<Context>,
     transport: &dyn Transport,
@@ -324,6 +467,7 @@ pub fn run_server<R: Rng>(
         stream: StreamStats::default(),
         input_cts: 0,
         output_cts: 0,
+        batch: 1,
     };
     let absorb = |summary: crate::session::ServerConvSummary, report: &mut ServerReport| {
         report.counts.merge(&summary.counts);
@@ -332,116 +476,65 @@ pub fn run_server<R: Rng>(
         }
         report.input_cts += summary.input_cts;
         report.output_cts += summary.output_cts;
-        summary.server_share
+        let mut shares = vec![summary.server_share];
+        shares.extend(summary.extra_shares);
+        shares
     };
 
-    // conv1.
-    let s1 = absorb(
+    // conv1 — the batch width arrives with the client's Setup.
+    let shares1 = absorb(
         serve_conv(ctx, transport, &cnn.conv1, backend, rng)?,
         &mut report,
     );
-    let (c1, h1, w1) = (s1.channels(), s1.height(), s1.width());
-    let mut server_share = tensor_to_mod(&s1, t);
+    let batch = shares1.len();
+    report.batch = batch;
+    let (c1, h1, w1) = (
+        shares1[0].channels(),
+        shares1[0].height(),
+        shares1[0].width(),
+    );
 
-    // ReLU round 0.
-    let span = spot_trace::span(Cat::Session, "relu round").arg("round", 0);
-    let blob = server_expect_round(transport, OP_RELU, 0)?;
-    let client_share = decode_share(&blob)?;
-    if client_share.len() != server_share.len() {
-        return Err(SpotError::Protocol(format!(
-            "relu share length {} does not match server share {}",
-            client_share.len(),
-            server_share.len()
-        )));
+    // Per image: ReLU, 2×2 max-pool, then the layer-boundary reveal so
+    // the client can re-encrypt its mid tensor for conv2.
+    for (b, s1) in shares1.iter().enumerate() {
+        let server_share = tensor_to_mod(s1, t);
+        let server_share = server_relu_round(transport, b as u16, &server_share, t, rng)?;
+        let server_share = server_maxpool_round(
+            transport,
+            (batch + b) as u16,
+            (c1, h1, w1),
+            &server_share,
+            t,
+            rng,
+        )?;
+        transport.send(&WireMessage::ShareReveal {
+            blob: encode_share(&server_share),
+        })?;
+        spot_trace::instant(Cat::Session, "share reveal");
     }
-    let relu: Vec<i64> = client_share
-        .iter()
-        .zip(&server_share)
-        .map(|(&c, &s)| centered((c + s) % t, t).max(0))
-        .collect();
-    let (srv, cli) = reshare(&relu, t, rng);
-    server_share = srv;
-    transport.send(&WireMessage::OtRound {
-        op: OP_RELU,
-        round: 0,
-        blob: encode_share(&cli),
-    })?;
-    drop(span);
 
-    // Max-pool round 1 (payload prefixed with the tensor dims).
-    let span = spot_trace::span(Cat::Session, "maxpool round").arg("round", 1);
-    let blob = server_expect_round(transport, OP_MAXPOOL, 1)?;
-    if blob.len() < 12 {
-        return Err(SpotError::Protocol("maxpool payload too short".into()));
-    }
-    let dim = |i: usize| {
-        u32::from_le_bytes(blob[i * 4..i * 4 + 4].try_into().expect("4-byte dim")) as usize
-    };
-    let (pc, ph, pw) = (dim(0), dim(1), dim(2));
-    let client_share = decode_share(&blob[12..])?;
-    if (pc, ph, pw) != (c1, h1, w1) || client_share.len() != pc * ph * pw {
-        return Err(SpotError::Protocol(format!(
-            "maxpool dims {pc}x{ph}x{pw} (len {}) do not match layer {c1}x{h1}x{w1}",
-            client_share.len()
-        )));
-    }
-    let vals: Vec<i64> = client_share
-        .iter()
-        .zip(&server_share)
-        .map(|(&c, &s)| centered((c + s) % t, t))
-        .collect();
-    let pooled = spot_tensor::conv::maxpool2(&Tensor::from_vec(pc, ph, pw, vals));
-    let (srv, cli) = reshare(pooled.data(), t, rng);
-    server_share = srv;
-    transport.send(&WireMessage::OtRound {
-        op: OP_MAXPOOL,
-        round: 1,
-        blob: encode_share(&cli),
-    })?;
-    drop(span);
-
-    // Layer boundary: reveal the server share so the client can
-    // re-encrypt the mid tensor for conv2.
-    transport.send(&WireMessage::ShareReveal {
-        blob: encode_share(&server_share),
-    })?;
-    spot_trace::instant(Cat::Session, "share reveal");
-
-    // conv2.
-    let s2 = absorb(
+    // conv2 — same batch width.
+    let shares2 = absorb(
         serve_conv(ctx, transport, &cnn.conv2, backend, rng)?,
         &mut report,
     );
-    let mut server_share = tensor_to_mod(&s2, t);
-
-    // ReLU round 2, then the final reveal.
-    let span = spot_trace::span(Cat::Session, "relu round").arg("round", 2);
-    let blob = server_expect_round(transport, OP_RELU, 2)?;
-    let client_share = decode_share(&blob)?;
-    if client_share.len() != server_share.len() {
+    if shares2.len() != batch {
         return Err(SpotError::Protocol(format!(
-            "relu share length {} does not match server share {}",
-            client_share.len(),
-            server_share.len()
+            "conv2 batch {} does not match conv1 batch {batch}",
+            shares2.len()
         )));
     }
-    let relu: Vec<i64> = client_share
-        .iter()
-        .zip(&server_share)
-        .map(|(&c, &s)| centered((c + s) % t, t).max(0))
-        .collect();
-    let (srv, cli) = reshare(&relu, t, rng);
-    server_share = srv;
-    transport.send(&WireMessage::OtRound {
-        op: OP_RELU,
-        round: 2,
-        blob: encode_share(&cli),
-    })?;
-    drop(span);
-    transport.send(&WireMessage::ShareReveal {
-        blob: encode_share(&server_share),
-    })?;
-    spot_trace::instant(Cat::Session, "share reveal");
+
+    // Per image: ReLU round, then the final reveal.
+    for (b, s2) in shares2.iter().enumerate() {
+        let server_share = tensor_to_mod(s2, t);
+        let server_share =
+            server_relu_round(transport, (2 * batch + b) as u16, &server_share, t, rng)?;
+        transport.send(&WireMessage::ShareReveal {
+            blob: encode_share(&server_share),
+        })?;
+        spot_trace::instant(Cat::Session, "share reveal");
+    }
 
     // Orderly teardown.
     let msg = transport.recv()?;
@@ -510,6 +603,39 @@ mod tests {
     fn twoparty_streaming_backend_matches_plain() {
         let cfg = StreamConfig::new(Executor::new(2), 2);
         let (got, want) = run_pair(ExecBackend::Streaming(cfg), SchemeKind::Spot);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn twoparty_batched_matches_plain_per_image() {
+        let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
+        let cnn = TinyCnn::new(7);
+        let inputs: Vec<Tensor> = (0..3).map(|b| Tensor::random(2, 8, 8, 5, 9 + b)).collect();
+        let want: Vec<Tensor> = inputs.iter().map(|i| cnn.forward_plain(i)).collect();
+        let (ct, st) = MemTransport::pair();
+        let ctx_s = Arc::clone(&ctx);
+        let cnn_s = cnn.clone();
+        let backend = ExecBackend::Phased(Executor::serial());
+        let server = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(1312);
+            run_server(&ctx_s, &st, &cnn_s, &backend, &mut rng)
+        });
+        let mut rng = StdRng::seed_from_u64(99);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let got = run_client_batch(
+            &ctx,
+            &kg,
+            &ct,
+            &inputs,
+            &cnn,
+            SchemeKind::Spot,
+            (4, 4),
+            PatchMode::Tweaked,
+            &mut rng,
+        )
+        .expect("client batch run");
+        let report = server.join().expect("server thread").expect("server run");
+        assert_eq!(report.batch, 3);
         assert_eq!(got, want);
     }
 }

@@ -13,7 +13,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spot_core::executor::Executor;
-use spot_core::inference::{run_conv_backend, ExecBackend, Scheme};
+use spot_core::inference::{run_conv_backend, run_conv_backend_batched, ExecBackend, Scheme};
 use spot_core::patching::PatchMode;
 use spot_core::stream::StreamConfig;
 use spot_core::{channelwise, spot};
@@ -96,6 +96,69 @@ fn channelwise_streaming_deterministic_1_thread() {
 #[test]
 fn channelwise_streaming_deterministic_8_threads() {
     assert_streaming_matches_phased(Scheme::CrypTFlow2, 8, 2);
+}
+
+/// A batched session is deterministic across backends too: per-image
+/// shares and the whole-batch counts are bit-identical between the
+/// phased driver and the streamed one for the same seed.
+fn assert_batched_streaming_matches_phased(threads: usize, channel_capacity: usize) {
+    let ctx = ctx4096();
+    let mut keyrng = StdRng::seed_from_u64(9000);
+    let keygen = KeyGenerator::new(&ctx, &mut keyrng);
+    let inputs: Vec<Tensor> = (0..3u64)
+        .map(|b| Tensor::random(2, 8, 8, 5, 17 + b))
+        .collect();
+    let kernel = Kernel::random(4, 2, 3, 3, 4, 18);
+
+    let mut rng_a = StdRng::seed_from_u64(4242);
+    let (phased, none) = run_conv_backend_batched(
+        &ctx,
+        &keygen,
+        &inputs,
+        &kernel,
+        1,
+        (4, 4),
+        PatchMode::Tweaked,
+        Scheme::Spot,
+        &ExecBackend::Phased(Executor::new(threads)),
+        &mut rng_a,
+    );
+    assert!(none.is_none());
+
+    let mut rng_b = StdRng::seed_from_u64(4242);
+    let cfg = StreamConfig::new(Executor::new(threads), channel_capacity);
+    let (streamed, stats) = run_conv_backend_batched(
+        &ctx,
+        &keygen,
+        &inputs,
+        &kernel,
+        1,
+        (4, 4),
+        PatchMode::Tweaked,
+        Scheme::Spot,
+        &ExecBackend::Streaming(cfg),
+        &mut rng_b,
+    );
+    stats.expect("streaming backend reports stats");
+
+    let tag = format!("batched threads={threads} cap={channel_capacity}");
+    assert_eq!(phased.len(), inputs.len(), "{tag}");
+    assert_eq!(streamed.len(), inputs.len(), "{tag}");
+    for (b, (p, s)) in phased.iter().zip(&streamed).enumerate() {
+        assert_eq!(p.client_share, s.client_share, "{tag} image {b}");
+        assert_eq!(p.server_share, s.server_share, "{tag} image {b}");
+        assert_eq!(p.counts, s.counts, "{tag} image {b}");
+    }
+}
+
+#[test]
+fn spot_batched_streaming_deterministic_1_thread() {
+    assert_batched_streaming_matches_phased(1, 1);
+}
+
+#[test]
+fn spot_batched_streaming_deterministic_8_threads() {
+    assert_batched_streaming_matches_phased(8, 2);
 }
 
 #[test]

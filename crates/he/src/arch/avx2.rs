@@ -333,3 +333,22 @@ pub static KERNELS: Kernels = Kernels {
     mul_scalar,
     reduce,
 };
+
+/// Per-op tuned table: AVX2 where the vector path wins, scalar where
+/// the measured baseline (`BENCH_heops.json`) shows it behind. Plain
+/// Barrett with the native 64-bit `mul` beats the vpmuludq schoolbook
+/// on `pointwise_mul` and the key-switch digit lift (~0.7× under
+/// AVX2), so those two entries keep the scalar kernels. Selected by
+/// `auto` dispatch; `SPOT_SIMD=avx2` still forces the uniform vector
+/// table for A/B measurement.
+pub static TUNED: Kernels = Kernels {
+    name: "avx2+scalar",
+    ntt_forward,
+    ntt_inverse,
+    pointwise_mul: super::scalar::pointwise_mul,
+    pointwise_add_mul,
+    pointwise_add,
+    pointwise_sub,
+    mul_scalar,
+    reduce: super::scalar::reduce,
+};

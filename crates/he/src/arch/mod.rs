@@ -6,12 +6,17 @@
 //! pointers selected **once** at startup:
 //!
 //! * CPU features are detected at runtime (`AVX2` on x86_64, `NEON` on
-//!   aarch64); the best supported backend wins.
+//!   aarch64); dispatch granularity is **per op**: `auto` installs the
+//!   fastest kernel for each table entry, not one uniform backend. On
+//!   AVX2 hosts that is the mixed `avx2+scalar` table — the measured
+//!   baseline shows scalar Barrett ahead on `pointwise_mul` and the
+//!   key-switch digit lift (~0.7× under AVX2), so those entries keep
+//!   the scalar kernels while the NTTs and fused digit loops vectorize.
 //! * The `SPOT_SIMD` environment variable overrides detection:
 //!   `off`/`scalar` force the scalar kernels, `auto` (or unset) picks
-//!   the best available, and a backend name (`avx2`, `neon`) forces
-//!   that backend — falling back to scalar with a warning if the CPU
-//!   does not support it.
+//!   the tuned per-op table, and a backend name (`avx2`, `neon`,
+//!   `avx2+scalar`) forces that table uniformly — falling back to
+//!   scalar with a warning if the CPU does not support it.
 //! * Every backend is bit-identical to the scalar path: all kernels
 //!   produce canonical `[0, p)` residues at their boundaries, so the
 //!   choice of backend can never change any ciphertext, share, or
@@ -114,10 +119,26 @@ pub fn best_available() -> &'static Kernels {
     available().last().expect("scalar backend always present")
 }
 
+/// The table `auto` dispatch installs: the fastest uniform backend with
+/// per-op substitutions wherever the measured baseline
+/// (`BENCH_heops.json`) shows a different kernel ahead. On x86_64 with
+/// AVX2 that is the mixed `avx2+scalar` table (scalar Barrett wins on
+/// `pointwise_mul` and the key-switch digit lift); elsewhere no op-level
+/// loss has been measured and the uniform best table is returned.
+pub fn tuned_best() -> &'static Kernels {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        return &avx2::TUNED;
+    }
+    best_available()
+}
+
 fn choose(requested: &str) -> (&'static Kernels, bool) {
     match requested {
         "off" | "scalar" => (&scalar::KERNELS, true),
-        "" | "auto" => (best_available(), true),
+        "" | "auto" => (tuned_best(), true),
+        #[cfg(target_arch = "x86_64")]
+        "avx2+scalar" if std::arch::is_x86_feature_detected!("avx2") => (&avx2::TUNED, true),
         name => match available().into_iter().find(|k| k.name == name) {
             Some(k) => (k, true),
             None => (&scalar::KERNELS, false),
@@ -152,6 +173,7 @@ impl Kernels {
     fn dispatch_event_name(&self) -> &'static str {
         match self.name {
             "avx2" => "simd_dispatch=avx2",
+            "avx2+scalar" => "simd_dispatch=avx2+scalar",
             "neon" => "simd_dispatch=neon",
             _ => "simd_dispatch=scalar",
         }
@@ -236,10 +258,31 @@ mod tests {
     fn choose_honours_off_and_auto() {
         assert_eq!(choose("off").0.name, "scalar");
         assert_eq!(choose("scalar").0.name, "scalar");
-        assert_eq!(choose("auto").0.name, best_available().name);
-        assert_eq!(choose("").0.name, best_available().name);
+        assert_eq!(choose("auto").0.name, tuned_best().name);
+        assert_eq!(choose("").0.name, tuned_best().name);
         let (k, honoured) = choose("riscv-vector");
         assert_eq!(k.name, "scalar");
         assert!(!honoured);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn tuned_table_mixes_backends_per_op() {
+        if !std::arch::is_x86_feature_detected!("avx2") {
+            return;
+        }
+        let (t, honoured) = choose("avx2+scalar");
+        assert!(honoured);
+        assert_eq!(t.name, "avx2+scalar");
+        assert_eq!(tuned_best().name, "avx2+scalar");
+        // The two measured-loss entries fall back to scalar; the NTTs
+        // keep the vector kernels.
+        assert_eq!(
+            t.pointwise_mul as usize,
+            scalar::KERNELS.pointwise_mul as usize
+        );
+        assert_eq!(t.reduce as usize, scalar::KERNELS.reduce as usize);
+        assert_ne!(t.ntt_forward as usize, scalar::KERNELS.ntt_forward as usize);
+        assert_eq!(t.ntt_forward as usize, avx2::KERNELS.ntt_forward as usize);
     }
 }

@@ -377,6 +377,7 @@ mod tests {
                 scheme: 0,
                 mode: 0,
                 level: 1,
+                batch: 1,
                 h: 4,
                 w: 4,
                 c_in: 1,

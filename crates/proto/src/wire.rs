@@ -38,6 +38,10 @@ pub struct ConvSetup {
     pub mode: u8,
     /// HE parameter level discriminant (log2(N) - 11, i.e. 0 = N2048).
     pub level: u8,
+    /// Images batched into this layer's ciphertexts (0 and 1 both mean
+    /// unbatched — the byte was reserved-zero before batching existed,
+    /// so old encoders read as batch 1).
+    pub batch: u8,
     /// Input height.
     pub h: u32,
     /// Input width.
@@ -66,7 +70,7 @@ impl ConvSetup {
         out.push(self.scheme);
         out.push(self.mode);
         out.push(self.level);
-        out.push(0); // reserved
+        out.push(self.batch);
         for v in [
             self.h,
             self.w,
@@ -95,6 +99,7 @@ impl ConvSetup {
             scheme: payload[0],
             mode: payload[1],
             level: payload[2],
+            batch: payload[3],
             h: words[0],
             w: words[1],
             c_in: words[2],
@@ -385,6 +390,7 @@ mod tests {
                 scheme: 2,
                 mode: 1,
                 level: 1,
+                batch: 4,
                 h: 8,
                 w: 8,
                 c_in: 2,

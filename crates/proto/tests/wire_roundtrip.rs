@@ -12,16 +12,21 @@ fn blob() -> impl Strategy<Value = Vec<u8>> {
 
 fn setup_strategy() -> impl Strategy<Value = ConvSetup> {
     (
-        (0u8..3, 0u8..2, 0u8..4),
+        (0u8..3, 0u8..2, 0u8..4, 0u8..32),
         (1u32..64, 1u32..64, 1u32..32, 1u32..32),
         (1u32..8, 1u32..8, 1u32..3, 0u32..16, 0u32..16),
     )
         .prop_map(
-            |((scheme, mode, level), (h, w, c_in, c_out), (k_h, k_w, stride, patch_h, patch_w))| {
+            |(
+                (scheme, mode, level, batch),
+                (h, w, c_in, c_out),
+                (k_h, k_w, stride, patch_h, patch_w),
+            )| {
                 ConvSetup {
                     scheme,
                     mode,
                     level,
+                    batch,
                     h,
                     w,
                     c_in,
