@@ -15,6 +15,16 @@ pub enum SpotError {
     /// The peer violated the session protocol (wrong message, bad
     /// sequence number, inconsistent geometry, …).
     Protocol(String),
+    /// The server refused the session with a typed wire error
+    /// (admission control: at capacity, over the ciphertext budget…).
+    /// On the server side the code selects the `WireMessage::Error`
+    /// frame sent back; on the client side it is the received frame.
+    Rejected {
+        /// Machine-readable reason (`spot_proto::error_code`).
+        code: u16,
+        /// Human-readable context from the server.
+        detail: String,
+    },
     /// A lock was poisoned by a panic on another thread.
     Poisoned(&'static str),
     /// A queue or channel was disconnected while traffic was expected.
@@ -27,6 +37,9 @@ impl fmt::Display for SpotError {
             SpotError::Proto(e) => write!(f, "protocol transport error: {e}"),
             SpotError::Serial(e) => write!(f, "HE deserialization error: {e}"),
             SpotError::Protocol(m) => write!(f, "session protocol violation: {m}"),
+            SpotError::Rejected { code, detail } => {
+                write!(f, "rejected by server (code {code}): {detail}")
+            }
             SpotError::Poisoned(what) => write!(f, "poisoned lock: {what}"),
             SpotError::Disconnected(what) => write!(f, "disconnected: {what}"),
         }

@@ -73,11 +73,21 @@ impl Executor {
         if workers == 1 {
             return vec![f(0)];
         }
+        // Per-session counter attribution crosses the pool boundary:
+        // workers inherit the spawning thread's session sink so HE ops
+        // executed on their behalf land in the right session's totals.
+        let session = spot_trace::session_counters();
         let result = thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let f = &f;
-                    s.spawn(move |_| f(w))
+                    let session = session.clone();
+                    s.spawn(move |_| {
+                        if let Some(sink) = session {
+                            spot_trace::set_session_counters(Some(sink));
+                        }
+                        f(w)
+                    })
                 })
                 .collect();
             let mut out = Vec::with_capacity(workers);

@@ -76,6 +76,66 @@ pub struct ConvRequest<'a> {
 /// so it needs no key component of its own.
 type KernelKey = (usize, usize, usize, usize, usize);
 
+/// A shareable NTT-domain kernel plaintext cache. Cache entries are a
+/// function of the layer geometry and the *model's* kernel weights only
+/// — never of any client key material — so a serving process hosting
+/// many concurrent sessions of the same model hands each session's
+/// engine a clone of one per-model `KernelCache` and pays the
+/// encode+lift cost once per model instead of once per connection.
+/// Clones share storage (`Arc`); [`KernelCache::default`] is empty.
+#[derive(Debug, Clone, Default)]
+pub struct KernelCache {
+    entries: Arc<RwLock<HashMap<KernelKey, Option<Arc<Poly>>>>>,
+}
+
+impl KernelCache {
+    /// A fresh, empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of kernel plaintext combinations cached so far (including
+    /// recorded all-zero combinations).
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+
+    /// Drops every cached entry.
+    pub fn clear(&self) {
+        self.entries.write().clear();
+    }
+
+    /// Looks up `key`, building and inserting it on a miss. The build
+    /// runs under the write lock (double-checked after acquiring it),
+    /// so concurrent sessions racing on a cold entry build it exactly
+    /// once — the property the per-model cache-miss counter in
+    /// `BENCH_serving.json` certifies.
+    fn get_or_build(
+        &self,
+        key: KernelKey,
+        build: impl FnOnce() -> Option<Arc<Poly>>,
+    ) -> Option<Arc<Poly>> {
+        if let Some(hit) = self.entries.read().get(&key) {
+            spot_trace::count(spot_trace::Counter::KernelCacheHit, 1);
+            return hit.clone();
+        }
+        let mut entries = self.entries.write();
+        if let Some(hit) = entries.get(&key) {
+            spot_trace::count(spot_trace::Counter::KernelCacheHit, 1);
+            return hit.clone();
+        }
+        spot_trace::count(spot_trace::Counter::KernelCacheBuild, 1);
+        let entry = build();
+        entries.insert(key, entry.clone());
+        entry
+    }
+}
+
 /// The engine: HE context plus the Galois keys a convolution needs.
 #[derive(Debug)]
 pub struct HeConvEngine {
@@ -92,7 +152,8 @@ pub struct HeConvEngine {
     /// encoded and lifted, every later ciphertext through the same layer
     /// multiplies against the cached `Poly` with zero encode/NTT work.
     /// `None` records "this combination is all-zero, skip the multiply".
-    kernel_cache: RwLock<HashMap<KernelKey, Option<Arc<Poly>>>>,
+    /// May be shared across engines (and sessions) of the same model.
+    kernel_cache: KernelCache,
     cache_enabled: bool,
 }
 
@@ -219,13 +280,27 @@ impl HeConvEngine {
     /// cover at least the elements [`required_elements`] reports for the
     /// layer the engine will run.
     pub fn with_keys(ctx: &Arc<Context>, galois: Arc<GaloisKeys>, use_bsgs: bool) -> Self {
+        Self::with_shared_cache(ctx, galois, use_bsgs, KernelCache::new())
+    }
+
+    /// Like [`HeConvEngine::with_keys`], but backed by an externally
+    /// owned [`KernelCache`]. The serving layer passes one cache per
+    /// model so every session's engine shares the already-lifted kernel
+    /// plaintexts; the Galois keys stay per-engine because they are
+    /// client key material.
+    pub fn with_shared_cache(
+        ctx: &Arc<Context>,
+        galois: Arc<GaloisKeys>,
+        use_bsgs: bool,
+        cache: KernelCache,
+    ) -> Self {
         Self {
             ctx: Arc::clone(ctx),
             encoder: BatchEncoder::new(ctx),
             evaluator: Evaluator::new(ctx),
             galois,
             use_bsgs,
-            kernel_cache: RwLock::new(HashMap::new()),
+            kernel_cache: cache,
             cache_enabled: true,
         }
     }
@@ -233,18 +308,19 @@ impl HeConvEngine {
     /// Enables or disables the NTT-domain kernel plaintext cache
     /// (enabled by default; benchmarks use the disabled path to measure
     /// the per-ciphertext encoding cost it removes). Disabling clears
-    /// any cached entries.
+    /// any cached entries — including those of other engines sharing
+    /// the same [`KernelCache`].
     pub fn set_cache_enabled(&mut self, enabled: bool) {
         self.cache_enabled = enabled;
         if !enabled {
-            self.kernel_cache.write().clear();
+            self.kernel_cache.clear();
         }
     }
 
     /// Number of kernel plaintext combinations cached so far (including
     /// recorded all-zero combinations).
     pub fn kernel_cache_len(&self) -> usize {
-        self.kernel_cache.read().len()
+        self.kernel_cache.len()
     }
 
     /// The HE context.
@@ -373,12 +449,7 @@ impl HeConvEngine {
             return build();
         }
         let key: KernelKey = (req.cache_tag, vi, gi, d, ti);
-        if let Some(hit) = self.kernel_cache.read().get(&key) {
-            return hit.clone();
-        }
-        let entry = build();
-        self.kernel_cache.write().insert(key, entry.clone());
-        entry
+        self.kernel_cache.get_or_build(key, build)
     }
 
     /// Runs the lane-MIMO convolution of one input ciphertext (see

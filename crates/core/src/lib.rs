@@ -28,6 +28,7 @@ pub mod layout;
 pub mod memory_util;
 pub mod patching;
 pub mod select;
+pub mod serving;
 pub mod session;
 pub mod spot;
 pub mod stream;

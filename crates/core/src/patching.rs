@@ -25,7 +25,7 @@ use spot_tensor::conv::conv2d_full_positions;
 use spot_tensor::tensor::{Kernel, Tensor};
 
 /// Patch decomposition mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PatchMode {
     /// Overlap `k-1`, selection-based assembly.
     Vanilla,

@@ -31,7 +31,9 @@ use crate::channelwise::{self, SecureConvResult};
 use crate::cheetah;
 use crate::error::SpotError;
 use crate::executor::Executor;
-use crate::heconv::{required_elements, ChannelMap, ConvRequest, GroupSpec, HeConvEngine};
+use crate::heconv::{
+    required_elements, ChannelMap, ConvRequest, GroupSpec, HeConvEngine, KernelCache,
+};
 use crate::layout::{pack_pieces, pack_pieces_split, LaneLayout};
 use crate::patching::{decompose, Decomposition, PatchMode};
 use crate::spot::{self, Blocking};
@@ -51,6 +53,7 @@ use spot_proto::{ConvSetup, MemTransport, Transport, WireMessage};
 use spot_tensor::models::ConvShape;
 use spot_tensor::tensor::{Kernel, Tensor};
 use spot_trace::Cat;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -135,7 +138,7 @@ fn level_from_code(code: u8) -> Result<ParamLevel, SpotError> {
 
 /// One convolution layer as the session layer sees it: scheme, shape,
 /// and (for SPOT) the patch configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LayerSpec {
     /// Scheme to run.
     pub scheme: SchemeKind,
@@ -486,10 +489,20 @@ fn msg_name(msg: &WireMessage) -> &'static str {
         WireMessage::ShareReveal { .. } => "ShareReveal",
         WireMessage::LayerBarrier { .. } => "LayerBarrier",
         WireMessage::Teardown => "Teardown",
+        WireMessage::Error { .. } => "Error",
     }
 }
 
 fn unexpected(got: &WireMessage, want: &str) -> SpotError {
+    // A typed server rejection surfaces as itself rather than as a
+    // generic wrong-message error, wherever the client was in its
+    // receive loop when the rejection frame arrived.
+    if let WireMessage::Error { code, detail } = got {
+        return SpotError::Rejected {
+            code: *code,
+            detail: detail.clone(),
+        };
+    }
     SpotError::Protocol(format!("expected {want}, got {}", msg_name(got)))
 }
 
@@ -1270,6 +1283,63 @@ impl<'a> ClientConv<'a> {
 // Server session
 // ---------------------------------------------------------------------
 
+/// Per-model NTT-domain kernel caches, shared across every serving
+/// session of that model and keyed by [`LayerSpec`]. Channel-wise
+/// layers use a single [`KernelCache`] (the per-input `cache_tag`
+/// already separates entries); SPOT layers use one per patch class
+/// (each class runs `cache_tag = 0` against its own layout); Cheetah
+/// caches nothing. Cache contents depend only on the layer geometry
+/// and the model's kernel weights — no client key material — which is
+/// what makes cross-session sharing safe.
+#[derive(Debug, Default)]
+pub struct SharedKernelCaches {
+    by_layer: parking_lot::Mutex<HashMap<LayerSpec, Vec<KernelCache>>>,
+}
+
+impl SharedKernelCaches {
+    /// An empty cache set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The per-class caches for `spec`, creating them on first use.
+    /// Clones share storage, so every session of the model converges
+    /// on the same lifted plaintexts.
+    fn class_caches(&self, spec: &LayerSpec, classes: usize) -> Vec<KernelCache> {
+        let mut map = self.by_layer.lock();
+        let caches = map.entry(*spec).or_default();
+        while caches.len() < classes {
+            caches.push(KernelCache::new());
+        }
+        caches[..classes].to_vec()
+    }
+
+    /// Total cached kernel plaintext combinations across all layers.
+    pub fn total_entries(&self) -> usize {
+        self.by_layer
+            .lock()
+            .values()
+            .flat_map(|caches| caches.iter())
+            .map(KernelCache::len)
+            .sum()
+    }
+}
+
+/// Server-side knobs for one [`serve_conv_with`] call. The default is
+/// exactly the single-tenant [`serve_conv`] behaviour: private caches,
+/// no batch cap beyond the layer's SIMD capacity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeOptions<'a> {
+    /// Model-wide kernel caches to share across sessions (`None` =
+    /// build a fresh private cache for this call).
+    pub shared: Option<&'a SharedKernelCaches>,
+    /// Admission control: largest `Setup` batch this session's
+    /// ciphertext-memory budget admits. A hello above it is refused
+    /// with [`SpotError::Rejected`] (`error_code::OVER_BUDGET`) before
+    /// any ciphertext is received, so the server never OOMs trying.
+    pub max_batch: Option<usize>,
+}
+
 /// Outcome of one served convolution layer.
 #[derive(Debug)]
 pub struct ServerConvSummary {
@@ -1300,6 +1370,26 @@ pub fn serve_conv<R: Rng>(
     transport: &dyn Transport,
     kernel: &Kernel,
     backend: &ExecBackend,
+    rng: &mut R,
+) -> Result<ServerConvSummary, SpotError> {
+    serve_conv_with(
+        ctx,
+        transport,
+        kernel,
+        backend,
+        ServeOptions::default(),
+        rng,
+    )
+}
+
+/// [`serve_conv`] with serving-layer options: shared per-model kernel
+/// caches and a per-session batch budget (see [`ServeOptions`]).
+pub fn serve_conv_with<R: Rng>(
+    ctx: &Arc<Context>,
+    transport: &dyn Transport,
+    kernel: &Kernel,
+    backend: &ExecBackend,
+    opts: ServeOptions<'_>,
     rng: &mut R,
 ) -> Result<ServerConvSummary, SpotError> {
     let msg = transport.recv()?;
@@ -1342,6 +1432,16 @@ pub fn serve_conv<R: Rng>(
             "batch of {batch} images exceeds layer capacity {cap}"
         )));
     }
+    if let Some(max) = opts.max_batch {
+        if batch > max {
+            return Err(SpotError::Rejected {
+                code: spot_proto::error_code::OVER_BUDGET,
+                detail: format!(
+                    "batch of {batch} images exceeds the session ciphertext budget ({max})"
+                ),
+            });
+        }
+    }
     let elements = galois_elements(&spec, &detail);
     let galois = if elements.is_empty() {
         Arc::new(GaloisKeys::default())
@@ -1380,6 +1480,18 @@ pub fn serve_conv<R: Rng>(
     } else {
         Vec::new()
     };
+    // One kernel cache per patch class (channel-wise: a single class).
+    // With `opts.shared` these come from the per-model pool, so every
+    // session multiplies against the same lifted plaintexts.
+    let classes = match &detail {
+        PlanDetail::Channelwise { .. } => 1,
+        PlanDetail::Cheetah { .. } => 0,
+        PlanDetail::Spot { layouts, .. } => layouts.len(),
+    };
+    let caches: Vec<KernelCache> = match opts.shared {
+        Some(shared) => shared.class_caches(&spec, classes),
+        None => (0..classes).map(|_| KernelCache::new()).collect(),
+    };
     match detail {
         PlanDetail::Channelwise {
             geo,
@@ -1394,6 +1506,7 @@ pub fn serve_conv<R: Rng>(
             &layout,
             &groups,
             galois,
+            caches.into_iter().next().expect("one channelwise cache"),
             backend,
             batch,
             &mut batch_rngs,
@@ -1431,6 +1544,7 @@ pub fn serve_conv<R: Rng>(
             &in_maps,
             input_cts,
             galois,
+            caches,
             backend,
             batch,
             &mut batch_rngs,
@@ -1449,13 +1563,14 @@ fn serve_channelwise<R: Rng>(
     layout: &LaneLayout,
     groups: &[GroupSpec],
     galois: Arc<GaloisKeys>,
+    cache: KernelCache,
     backend: &ExecBackend,
     batch: usize,
     batch_rngs: &mut [StdRng],
     rng: &mut R,
 ) -> Result<ServerConvSummary, SpotError> {
     let shape = &spec.shape;
-    let engine = HeConvEngine::with_keys(ctx, galois, false);
+    let engine = HeConvEngine::with_shared_cache(ctx, galois, false, cache);
     let mut counts = OpCounts::default();
 
     let conv_one = |j: usize, ct: &Ciphertext| {
@@ -1757,6 +1872,7 @@ fn serve_spot<R: Rng>(
     in_maps: &[ChannelMap],
     input_cts: usize,
     galois: Arc<GaloisKeys>,
+    caches: Vec<KernelCache>,
     backend: &ExecBackend,
     batch: usize,
     batch_rngs: &mut [StdRng],
@@ -1775,10 +1891,12 @@ fn serve_spot<R: Rng>(
         .collect();
     // One engine per class: the layouts differ, so sharing the
     // NTT-domain kernel cache (keyed by `cache_tag` = 0 within a class)
-    // across classes would collide.
-    let engines: Vec<HeConvEngine> = layouts
-        .iter()
-        .map(|_| HeConvEngine::with_keys(ctx, Arc::clone(&galois), true))
+    // across classes would collide. Each class's cache may itself be
+    // shared with other sessions of the same model.
+    debug_assert_eq!(caches.len(), layouts.len());
+    let engines: Vec<HeConvEngine> = caches
+        .into_iter()
+        .map(|cache| HeConvEngine::with_shared_cache(ctx, Arc::clone(&galois), true, cache))
         .collect();
     // Global ciphertext index → class index.
     let ct_class: Vec<usize> = class_cts

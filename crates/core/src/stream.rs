@@ -410,15 +410,27 @@ where
         ..StreamStats::default()
     };
 
+    // Producer and server run on fresh scoped threads: hand them the
+    // session counter sink so their wire/HE ops stay attributed.
+    let session = spot_trace::session_counters();
     let scope_result = thread::scope(|s| {
         let in_q = &in_q;
         let out_q = &out_q;
         let work = &work;
 
-        let producer_handle =
-            s.spawn(move |_| run_producer(in_q, config.channel_capacity, producer));
+        let producer_session = session.clone();
+        let producer_handle = s.spawn(move |_| {
+            if let Some(sink) = producer_session {
+                spot_trace::set_session_counters(Some(sink));
+            }
+            run_producer(in_q, config.channel_capacity, producer)
+        });
 
+        let server_session = session.clone();
         let server_handle = s.spawn(move |_| {
+            if let Some(sink) = server_session {
+                spot_trace::set_session_counters(Some(sink));
+            }
             let per_worker = config.executor.run_workers(workers, |w| {
                 spot_trace::set_thread_label(format!("server-{w}"));
                 let mut idle = Duration::ZERO;
@@ -550,10 +562,15 @@ where
     // until the barrier clears.
     let barrier_span =
         spot_trace::span(Cat::Stream, "barrier (await all inputs)").arg("workers", workers as u64);
+    let session = spot_trace::session_counters();
     let scope_result = thread::scope(|s| {
         let in_q = &in_q;
-        let producer_handle =
-            s.spawn(move |_| run_producer(in_q, config.channel_capacity, producer));
+        let producer_handle = s.spawn(move |_| {
+            if let Some(sink) = session {
+                spot_trace::set_session_counters(Some(sink));
+            }
+            run_producer(in_q, config.channel_capacity, producer)
+        });
         let mut inputs: Vec<T> = Vec::new();
         let mut drain_err: Option<SpotError> = None;
         loop {
@@ -658,6 +675,16 @@ pub struct BatchAssembler<T> {
     nonempty: Condvar,
     capacity: usize,
     latency_cap: Duration,
+}
+
+impl<T> std::fmt::Debug for BatchAssembler<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchAssembler")
+            .field("capacity", &self.capacity)
+            .field("latency_cap", &self.latency_cap)
+            .field("queued", &self.queued())
+            .finish()
+    }
 }
 
 impl<T> BatchAssembler<T> {

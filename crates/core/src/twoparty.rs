@@ -24,7 +24,9 @@
 use crate::error::SpotError;
 use crate::inference::TinyCnn;
 use crate::patching::PatchMode;
-use crate::session::{serve_conv, ClientConv, ExecBackend, LayerSpec, SchemeKind, UploadPacing};
+use crate::session::{
+    serve_conv_with, ClientConv, ExecBackend, LayerSpec, SchemeKind, ServeOptions, UploadPacing,
+};
 use crate::stream::StreamStats;
 use rand::Rng;
 use spot_he::context::Context;
@@ -227,6 +229,46 @@ pub fn run_client<R: Rng + Send>(
 /// order.
 #[allow(clippy::too_many_arguments)]
 pub fn run_client_batch<R: Rng + Send>(
+    ctx: &Arc<Context>,
+    keygen: &KeyGenerator,
+    transport: &dyn Transport,
+    inputs: &[Tensor],
+    arch: &TinyCnn,
+    scheme: SchemeKind,
+    patch: (usize, usize),
+    mode: PatchMode,
+    rng: &mut R,
+) -> Result<Vec<Tensor>, SpotError> {
+    match run_client_batch_inner(
+        ctx, keygen, transport, inputs, arch, scheme, patch, mode, rng,
+    ) {
+        // A transport failure mid-upload can mean the server refused
+        // the session and hung up before we got to read the typed
+        // error frame — drain the receive side so the caller sees the
+        // refusal, not just a broken pipe.
+        Err(SpotError::Proto(e)) => Err(surface_rejection(transport, SpotError::Proto(e))),
+        other => other,
+    }
+}
+
+/// Drains up to a few pending frames looking for a typed
+/// [`WireMessage::Error`]; returns it as [`SpotError::Rejected`], or
+/// the original failure if the server never sent one.
+fn surface_rejection(transport: &dyn Transport, fallback: SpotError) -> SpotError {
+    for _ in 0..8 {
+        match transport.recv() {
+            Ok(WireMessage::Error { code, detail }) => {
+                return SpotError::Rejected { code, detail };
+            }
+            Ok(_) => continue,
+            Err(_) => break,
+        }
+    }
+    fallback
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_client_batch_inner<R: Rng + Send>(
     ctx: &Arc<Context>,
     keygen: &KeyGenerator,
     transport: &dyn Transport,
@@ -461,6 +503,20 @@ pub fn run_server<R: Rng>(
     backend: &ExecBackend,
     rng: &mut R,
 ) -> Result<ServerReport, SpotError> {
+    run_server_with(ctx, transport, cnn, backend, ServeOptions::default(), rng)
+}
+
+/// [`run_server`] with serving-layer options ([`ServeOptions`]): shared
+/// per-model kernel caches and the per-session batch budget, applied to
+/// both convolution layers.
+pub fn run_server_with<R: Rng>(
+    ctx: &Arc<Context>,
+    transport: &dyn Transport,
+    cnn: &TinyCnn,
+    backend: &ExecBackend,
+    opts: ServeOptions<'_>,
+    rng: &mut R,
+) -> Result<ServerReport, SpotError> {
     let t = ctx.params().plain_modulus();
     let mut report = ServerReport {
         counts: OpCounts::default(),
@@ -483,7 +539,7 @@ pub fn run_server<R: Rng>(
 
     // conv1 — the batch width arrives with the client's Setup.
     let shares1 = absorb(
-        serve_conv(ctx, transport, &cnn.conv1, backend, rng)?,
+        serve_conv_with(ctx, transport, &cnn.conv1, backend, opts, rng)?,
         &mut report,
     );
     let batch = shares1.len();
@@ -515,7 +571,7 @@ pub fn run_server<R: Rng>(
 
     // conv2 — same batch width.
     let shares2 = absorb(
-        serve_conv(ctx, transport, &cnn.conv2, backend, rng)?,
+        serve_conv_with(ctx, transport, &cnn.conv2, backend, opts, rng)?,
         &mut report,
     );
     if shares2.len() != batch {

@@ -1,0 +1,389 @@
+//! Hostile-input containment tests for the serving layer: a
+//! misbehaving client must fail **its own session only** — typed
+//! rejection on the wire, clean accounting, and byte-identical service
+//! for every well-behaved neighbor.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spot_core::error::SpotError;
+use spot_core::inference::TinyCnn;
+use spot_core::patching::PatchMode;
+use spot_core::serving::{ModelContext, ServingConfig, SpotServer};
+use spot_core::session::SchemeKind;
+use spot_core::twoparty::run_client_batch;
+use spot_he::context::Context;
+use spot_he::keys::KeyGenerator;
+use spot_he::params::{EncryptionParams, ParamLevel};
+use spot_proto::transport::{MemTransport, TcpTransport, TransportStats};
+use spot_proto::{error_code, Transport, WireMessage};
+use spot_tensor::tensor::Tensor;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_stack() -> (Arc<Context>, TinyCnn) {
+    (
+        Context::new(EncryptionParams::new(ParamLevel::N4096)),
+        TinyCnn::new(7),
+    )
+}
+
+/// Full-pipeline client over `transport`; returns the outputs and the
+/// client-side transport accounting.
+fn well_behaved_client(
+    ctx: &Arc<Context>,
+    cnn: &TinyCnn,
+    transport: &dyn Transport,
+    client: usize,
+) -> (Vec<Tensor>, TransportStats) {
+    let input = Tensor::random(2, 8, 8, 5, 300 + client as u64);
+    let mut rng = StdRng::seed_from_u64(99 + client as u64);
+    let kg = KeyGenerator::new(ctx, &mut rng);
+    let out = run_client_batch(
+        ctx,
+        &kg,
+        transport,
+        std::slice::from_ref(&input),
+        cnn,
+        SchemeKind::Spot,
+        (4, 4),
+        PatchMode::Tweaked,
+        &mut rng,
+    )
+    .expect("well-behaved client");
+    (out, transport.stats())
+}
+
+/// A protocol-violating first message fails only that session: the
+/// victim gets a typed error, the concurrent neighbor's outputs match
+/// the plaintext forward pass and its wire traffic is byte-identical
+/// to a solo run against a fresh server.
+#[test]
+fn protocol_violation_is_contained_to_its_session() {
+    let (ctx, cnn) = test_stack();
+
+    // Solo baseline traffic for the neighbor.
+    let solo_server = SpotServer::new(
+        ModelContext::new("tinycnn-solo", Arc::clone(&ctx), cnn.clone()),
+        ServingConfig::default(),
+    );
+    let (solo_out, solo_stats) = {
+        let (ct, st) = MemTransport::pair();
+        std::thread::scope(|s| {
+            let session = s.spawn(|| solo_server.serve_connection(&st));
+            let out = well_behaved_client(&ctx, &cnn, &ct, 1);
+            session
+                .join()
+                .expect("session thread")
+                .result
+                .expect("solo session");
+            out
+        })
+    };
+
+    let server = SpotServer::new(
+        ModelContext::new("tinycnn-7", Arc::clone(&ctx), cnn.clone()),
+        ServingConfig::default(),
+    );
+    let ((), (out, stats)) = std::thread::scope(|s| {
+        let attacker = s.spawn(|| {
+            let (ct, st) = MemTransport::pair();
+            std::thread::scope(|inner| {
+                let session = inner.spawn(|| server.serve_connection(&st));
+                // First frame is not a Setup: instant protocol violation.
+                ct.send(&WireMessage::Teardown).expect("send");
+                let report = session.join().expect("victim session thread");
+                assert!(report.result.is_err(), "violating session must fail");
+                // The typed error frame came back before the hangup.
+                let reply = ct.recv().expect("typed error frame");
+                assert!(
+                    matches!(reply, WireMessage::Error { code, .. } if code == error_code::PROTOCOL),
+                    "expected a PROTOCOL wire error, got {reply:?}"
+                );
+            });
+        });
+        let neighbor = s.spawn(|| {
+            let (ct, st) = MemTransport::pair();
+            std::thread::scope(|inner| {
+                let session = inner.spawn(|| server.serve_connection(&st));
+                let out = well_behaved_client(&ctx, &cnn, &ct, 1);
+                session
+                    .join()
+                    .expect("session thread")
+                    .result
+                    .expect("neighbor session");
+                out
+            })
+        });
+        (
+            attacker.join().expect("attacker"),
+            neighbor.join().expect("neighbor"),
+        )
+    });
+
+    assert_eq!(out, solo_out, "neighbor outputs diverge from solo run");
+    assert_eq!(
+        (stats.sent, stats.received.bytes, stats.received.messages),
+        (
+            solo_stats.sent,
+            solo_stats.received.bytes,
+            solo_stats.received.messages
+        ),
+        "neighbor wire traffic diverges from solo run"
+    );
+    let totals = server.stats();
+    assert_eq!((totals.served, totals.failed, totals.rejected), (1, 1, 0));
+}
+
+/// Raw garbage bytes over TCP (bad version byte, bad tag, truncated
+/// frame) kill only that connection; a concurrent well-formed session
+/// completes and matches plain.
+#[test]
+fn malformed_tcp_frames_fail_only_their_session() {
+    let (ctx, cnn) = test_stack();
+    let server = Arc::new(SpotServer::new(
+        ModelContext::new("tinycnn-7", Arc::clone(&ctx), cnn.clone()),
+        ServingConfig::default(),
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    std::thread::scope(|s| {
+        let acceptor = s.spawn(|| {
+            std::thread::scope(|inner| {
+                for _ in 0..2 {
+                    let (stream, _) = listener.accept().expect("accept");
+                    let server = Arc::clone(&server);
+                    inner.spawn(move || {
+                        let st = TcpTransport::from_stream(stream).expect("wrap");
+                        server.serve_connection(&st)
+                    });
+                }
+            });
+        });
+
+        // Hostile connection: not even a valid frame header.
+        let mut raw = TcpStream::connect(addr).expect("connect hostile");
+        raw.write_all(&[0xFF, 0xFF, 0xAA, 0x55, 0x00, 0x00, 0x00, 0x01, 0xCC])
+            .expect("write garbage");
+        raw.shutdown(std::net::Shutdown::Write).ok();
+
+        // Well-formed neighbor completes regardless.
+        let input = Tensor::random(2, 8, 8, 5, 303);
+        let want = cnn.forward_plain(&input);
+        let ct = TcpTransport::connect(addr.to_string()).expect("connect good");
+        let mut rng = StdRng::seed_from_u64(102);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let out = run_client_batch(
+            &ctx,
+            &kg,
+            &ct,
+            std::slice::from_ref(&input),
+            &cnn,
+            SchemeKind::Spot,
+            (4, 4),
+            PatchMode::Tweaked,
+            &mut rng,
+        )
+        .expect("well-formed client");
+        assert_eq!(out[0], want);
+        drop(raw);
+        acceptor.join().expect("acceptor");
+    });
+
+    let totals = server.stats();
+    assert_eq!((totals.served, totals.failed, totals.rejected), (1, 1, 0));
+}
+
+/// A `Setup` batch above the session's ciphertext budget is refused
+/// with the typed `OVER_BUDGET` code, and the same client fits under
+/// the budget with a smaller batch.
+#[test]
+fn over_budget_batch_is_rejected_with_typed_error() {
+    let (ctx, cnn) = test_stack();
+    let server = SpotServer::new(
+        ModelContext::new("tinycnn-7", Arc::clone(&ctx), cnn.clone()),
+        ServingConfig {
+            max_batch: Some(2),
+            ..ServingConfig::default()
+        },
+    );
+
+    let inputs: Vec<Tensor> = (0..3u64)
+        .map(|i| Tensor::random(2, 8, 8, 5, 310 + i))
+        .collect();
+    let err = {
+        let (ct, st) = MemTransport::pair();
+        std::thread::scope(|s| {
+            let session = s.spawn(|| server.serve_connection(&st));
+            let mut rng = StdRng::seed_from_u64(103);
+            let kg = KeyGenerator::new(&ctx, &mut rng);
+            let err = run_client_batch(
+                &ctx,
+                &kg,
+                &ct,
+                &inputs,
+                &cnn,
+                SchemeKind::Spot,
+                (4, 4),
+                PatchMode::Tweaked,
+                &mut rng,
+            )
+            .expect_err("over-budget batch must fail");
+            let report = session.join().expect("session thread");
+            assert!(report.result.is_err());
+            err
+        })
+    };
+    match err {
+        SpotError::Rejected { code, .. } => assert_eq!(code, error_code::OVER_BUDGET),
+        other => panic!("expected typed OVER_BUDGET rejection, got {other}"),
+    }
+
+    // Under the budget the same server still serves.
+    let (ct, st) = MemTransport::pair();
+    std::thread::scope(|s| {
+        let session = s.spawn(|| server.serve_connection(&st));
+        let (out, _) = well_behaved_client(&ctx, &cnn, &ct, 4);
+        let input = Tensor::random(2, 8, 8, 5, 304);
+        assert_eq!(out[0], cnn.forward_plain(&input));
+        session
+            .join()
+            .expect("session thread")
+            .result
+            .expect("in-budget session");
+    });
+    let totals = server.stats();
+    assert_eq!((totals.served, totals.failed, totals.rejected), (1, 1, 0));
+}
+
+/// At the session cap the extra connection is refused with the typed
+/// `SERVER_FULL` code and consumes no session id; a slot freeing up
+/// admits the next client.
+#[test]
+fn server_full_rejects_with_typed_error() {
+    let (ctx, cnn) = test_stack();
+    let server = SpotServer::new(
+        ModelContext::new("tinycnn-7", Arc::clone(&ctx), cnn.clone()),
+        ServingConfig {
+            max_sessions: 1,
+            ..ServingConfig::default()
+        },
+    );
+
+    // Occupy the only slot with a session that we hold open by not
+    // sending anything yet, then probe with a second connection.
+    let (ct_a, st_a) = MemTransport::pair();
+    std::thread::scope(|s| {
+        let session_a = s.spawn(|| server.serve_connection(&st_a));
+        // Wait until the first session is admitted.
+        while server.active_sessions() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let (ct_b, st_b) = MemTransport::pair();
+        let refused = server.serve_connection(&st_b);
+        assert_eq!(refused.id, u64::MAX, "a refused connection burns no id");
+        match refused.result {
+            Err(SpotError::Rejected { code, .. }) => assert_eq!(code, error_code::SERVER_FULL),
+            other => panic!("expected SERVER_FULL, got {other:?}"),
+        }
+        let frame = ct_b.recv().expect("typed refusal frame");
+        assert!(
+            matches!(frame, WireMessage::Error { code, .. } if code == error_code::SERVER_FULL),
+            "client must see the SERVER_FULL frame, got {frame:?}"
+        );
+
+        // The occupant still completes untouched.
+        let (out, _) = well_behaved_client(&ctx, &cnn, &ct_a, 5);
+        let input = Tensor::random(2, 8, 8, 5, 305);
+        assert_eq!(out[0], cnn.forward_plain(&input));
+        session_a
+            .join()
+            .expect("session a")
+            .result
+            .expect("occupant session");
+    });
+
+    // Slot freed: the next connection gets session id 1 (0 was the
+    // occupant; the refusal consumed none).
+    let (ct_c, st_c) = MemTransport::pair();
+    std::thread::scope(|s| {
+        let session_c = s.spawn(|| server.serve_connection(&st_c));
+        let (out, _) = well_behaved_client(&ctx, &cnn, &ct_c, 6);
+        let input = Tensor::random(2, 8, 8, 5, 306);
+        assert_eq!(out[0], cnn.forward_plain(&input));
+        let report = session_c.join().expect("session c");
+        assert_eq!(report.id, 1);
+        report.result.expect("post-refusal session");
+    });
+    let totals = server.stats();
+    assert_eq!((totals.served, totals.failed, totals.rejected), (2, 0, 1));
+}
+
+/// A slow-loris connection (connects, never sends) times out under the
+/// server's read deadline and fails alone; a concurrent full session
+/// completes and matches plain.
+#[test]
+fn slow_loris_times_out_without_harming_neighbors() {
+    let (ctx, cnn) = test_stack();
+    let server = Arc::new(SpotServer::new(
+        ModelContext::new("tinycnn-7", Arc::clone(&ctx), cnn.clone()),
+        ServingConfig::default(),
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+
+    std::thread::scope(|s| {
+        let acceptor = s.spawn(|| {
+            std::thread::scope(|inner| {
+                for conn in 0..2 {
+                    let (stream, _) = listener.accept().expect("accept");
+                    let server = Arc::clone(&server);
+                    inner.spawn(move || {
+                        let st = TcpTransport::from_stream(stream).expect("wrap");
+                        // The read deadline guards the first accepted
+                        // connection (the loris, below); the neighbor
+                        // runs without one so slow debug builds can't
+                        // trip it mid-protocol.
+                        if conn == 0 {
+                            st.set_read_timeout(Some(Duration::from_millis(200)))
+                                .expect("read timeout");
+                        }
+                        server.serve_connection(&st)
+                    });
+                }
+            });
+        });
+
+        // The loris: connect first and go silent.
+        let loris = TcpStream::connect(addr).expect("connect loris");
+        std::thread::sleep(Duration::from_millis(100));
+
+        // The neighbor does real work meanwhile.
+        let input = Tensor::random(2, 8, 8, 5, 307);
+        let want = cnn.forward_plain(&input);
+        let ct = TcpTransport::connect(addr.to_string()).expect("connect good");
+        let mut rng = StdRng::seed_from_u64(107);
+        let kg = KeyGenerator::new(&ctx, &mut rng);
+        let out = run_client_batch(
+            &ctx,
+            &kg,
+            &ct,
+            std::slice::from_ref(&input),
+            &cnn,
+            SchemeKind::Spot,
+            (4, 4),
+            PatchMode::Tweaked,
+            &mut rng,
+        )
+        .expect("neighbor client");
+        assert_eq!(out[0], want);
+
+        acceptor.join().expect("acceptor");
+        drop(loris);
+    });
+
+    let totals = server.stats();
+    assert_eq!((totals.served, totals.failed, totals.rejected), (1, 1, 0));
+}

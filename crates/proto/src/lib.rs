@@ -24,4 +24,4 @@ pub use channel::{Channel, LinkModel};
 pub use error::ProtoError;
 pub use share::{reconstruct, share, Party, ShareVec};
 pub use transport::{MemTransport, TcpTransport, Transport, TransportStats};
-pub use wire::{ConvSetup, WireMessage};
+pub use wire::{error_code, ConvSetup, WireMessage};

@@ -248,6 +248,16 @@ impl TcpTransport {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ProtoError> {
         Self::from_stream(TcpStream::connect(addr)?)
     }
+
+    /// Bounds how long a `recv` may block on the socket (`None` =
+    /// forever, the default). A serving process applies this per
+    /// session so a client that connects and then stalls mid-frame
+    /// (slow-loris) fails its own session with an I/O error instead of
+    /// pinning a worker indefinitely.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ProtoError> {
+        self.stream.set_read_timeout(timeout)?;
+        Ok(())
+    }
 }
 
 impl Transport for TcpTransport {

@@ -171,6 +171,27 @@ pub enum WireMessage {
     },
     /// Clean end of session.
     Teardown,
+    /// Typed server-side rejection (server → client): the session is
+    /// over after this frame. Carries one of the [`error_code`]
+    /// constants plus a human-readable detail string.
+    Error {
+        /// Machine-readable reason ([`error_code`] constants).
+        code: u16,
+        /// Human-readable context (UTF-8; lossily decoded on read).
+        detail: String,
+    },
+}
+
+/// Machine-readable reasons carried by [`WireMessage::Error`].
+pub mod error_code {
+    /// Admission control: the server is at its concurrent-session cap.
+    pub const SERVER_FULL: u16 = 1;
+    /// Admission control: the request exceeds the per-session
+    /// ciphertext-memory budget (e.g. an over-capacity `Setup` batch).
+    pub const OVER_BUDGET: u16 = 2;
+    /// The session violated the protocol (malformed or unexpected
+    /// frame, bad key material, unsupported geometry).
+    pub const PROTOCOL: u16 = 3;
 }
 
 impl WireMessage {
@@ -186,6 +207,7 @@ impl WireMessage {
             WireMessage::ShareReveal { .. } => 7,
             WireMessage::LayerBarrier { .. } => 8,
             WireMessage::Teardown => 9,
+            WireMessage::Error { .. } => 10,
         }
     }
 
@@ -222,6 +244,12 @@ impl WireMessage {
             WireMessage::ShareReveal { blob } => blob.clone(),
             WireMessage::LayerBarrier { layer } => layer.to_le_bytes().to_vec(),
             WireMessage::Teardown => Vec::new(),
+            WireMessage::Error { code, detail } => {
+                let mut p = Vec::with_capacity(2 + detail.len());
+                p.extend_from_slice(&code.to_le_bytes());
+                p.extend_from_slice(detail.as_bytes());
+                p
+            }
         }
     }
 
@@ -260,6 +288,10 @@ impl WireMessage {
                 }
                 WireMessage::Teardown
             }
+            10 => WireMessage::Error {
+                code: read_u16(payload, 0)?,
+                detail: String::from_utf8_lossy(&tail(payload, 2)?).into_owned(),
+            },
             t => return Err(ProtoError::BadTag(t)),
         })
     }
@@ -426,6 +458,10 @@ mod tests {
             },
             WireMessage::LayerBarrier { layer: 2 },
             WireMessage::Teardown,
+            WireMessage::Error {
+                code: error_code::SERVER_FULL,
+                detail: "at capacity (16 sessions)".into(),
+            },
         ]
     }
 

@@ -39,7 +39,7 @@ pub mod summary;
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 // ---------------------------------------------------------------------
@@ -512,10 +512,14 @@ pub enum Counter {
     RxFrames,
     /// Nanoseconds senders spent blocked in `Transport::send`.
     TxBlockedNs,
+    /// NTT-domain kernel plaintexts actually built (cache misses).
+    KernelCacheBuild,
+    /// Kernel plaintext requests served from the cache.
+    KernelCacheHit,
 }
 
 /// Number of [`Counter`] variants.
-pub const COUNTER_COUNT: usize = 21;
+pub const COUNTER_COUNT: usize = 23;
 
 impl Counter {
     /// Every counter, in declaration order.
@@ -541,6 +545,8 @@ impl Counter {
         Counter::RxBytes,
         Counter::RxFrames,
         Counter::TxBlockedNs,
+        Counter::KernelCacheBuild,
+        Counter::KernelCacheHit,
     ];
 
     /// Stable snake_case name used in exports.
@@ -567,6 +573,8 @@ impl Counter {
             Counter::RxBytes => "rx_bytes",
             Counter::RxFrames => "rx_frames",
             Counter::TxBlockedNs => "tx_blocked_ns",
+            Counter::KernelCacheBuild => "kernel_cache_build",
+            Counter::KernelCacheHit => "kernel_cache_hit",
         }
     }
 
@@ -578,13 +586,90 @@ impl Counter {
 
 static COUNTERS: [AtomicU64; COUNTER_COUNT] = [const { AtomicU64::new(0) }; COUNTER_COUNT];
 
-/// Adds `n` to a counter. Disabled path: one atomic load and a branch.
+/// Sticky flag: flips to `true` the first time any thread installs a
+/// [`SessionCounters`] sink, so processes that never serve sessions pay
+/// only one extra relaxed load per `count` call and never touch TLS.
+static SESSION_TRACKING: AtomicBool = AtomicBool::new(false);
+
+/// A per-session counter sink. A serving thread installs one with
+/// [`set_session_counters`]; every [`count`] call on that thread (and on
+/// worker threads the executor propagates it to) is mirrored into it,
+/// independently of the global [`enabled`] switch — so a server can
+/// attribute HE ops, wire bytes and queue stalls to individual sessions
+/// without turning on event buffering for the whole process.
+#[derive(Debug)]
+pub struct SessionCounters {
+    id: u64,
+    vals: [AtomicU64; COUNTER_COUNT],
+}
+
+impl SessionCounters {
+    /// A fresh all-zero sink tagged with a session id.
+    pub fn new(id: u64) -> Arc<Self> {
+        Arc::new(SessionCounters {
+            id,
+            vals: [const { AtomicU64::new(0) }; COUNTER_COUNT],
+        })
+    }
+
+    /// The session id this sink is tagged with.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// A point-in-time copy of this session's counters.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let mut snap = CounterSnapshot::default();
+        for (i, c) in self.vals.iter().enumerate() {
+            snap.vals[i] = c.load(Ordering::Relaxed);
+        }
+        snap
+    }
+}
+
+thread_local! {
+    static SESSION_SINK: RefCell<Option<Arc<SessionCounters>>> = const { RefCell::new(None) };
+}
+
+/// Installs (or clears, with `None`) the calling thread's per-session
+/// counter sink and returns the previous one, so nested scopes can
+/// restore it. Pass the same `Arc` to every thread working on behalf of
+/// the session; relaxed additions commute, so the snapshot is exact.
+pub fn set_session_counters(sink: Option<Arc<SessionCounters>>) -> Option<Arc<SessionCounters>> {
+    if sink.is_some() {
+        SESSION_TRACKING.store(true, Ordering::Relaxed);
+    }
+    SESSION_SINK.with(|s| std::mem::replace(&mut *s.borrow_mut(), sink))
+}
+
+/// The calling thread's current per-session sink, if any. Executors
+/// read this before spawning workers and re-install it on each.
+pub fn session_counters() -> Option<Arc<SessionCounters>> {
+    if !SESSION_TRACKING.load(Ordering::Relaxed) {
+        return None;
+    }
+    SESSION_SINK.with(|s| s.borrow().clone())
+}
+
+#[cold]
+fn count_session(c: Counter, n: u64) {
+    SESSION_SINK.with(|s| {
+        if let Some(sink) = s.borrow().as_ref() {
+            sink.vals[c as usize].fetch_add(n, Ordering::Relaxed);
+        }
+    });
+}
+
+/// Adds `n` to a counter. Disabled path: two relaxed atomic loads and
+/// branches (the global switch and the sticky session-tracking flag).
 #[inline(always)]
 pub fn count(c: Counter, n: u64) {
-    if !enabled() {
-        return;
+    if enabled() {
+        COUNTERS[c as usize].fetch_add(n, Ordering::Relaxed);
     }
-    COUNTERS[c as usize].fetch_add(n, Ordering::Relaxed);
+    if SESSION_TRACKING.load(Ordering::Relaxed) {
+        count_session(c, n);
+    }
 }
 
 /// A point-in-time copy of every counter. Per-layer attribution is the
@@ -720,6 +805,47 @@ mod tests {
         assert_eq!(d2.get(Counter::TxBytes), 0);
         // saturating: delta "backwards" is zero, not a wrap
         assert_eq!(before.delta(&after).get(Counter::Rotate), 0);
+        reset();
+    }
+
+    #[test]
+    fn session_counters_mirror_without_global_enable() {
+        let _g = guard();
+        disable();
+        reset();
+        let sink = SessionCounters::new(7);
+        assert_eq!(sink.id(), 7);
+        let prev = set_session_counters(Some(Arc::clone(&sink)));
+        count(Counter::Rotate, 4);
+        count(Counter::TxBytes, 100);
+        // Mirrored into the session sink even though tracing is off...
+        assert_eq!(sink.snapshot().get(Counter::Rotate), 4);
+        assert_eq!(sink.snapshot().get(Counter::TxBytes), 100);
+        // ...while the process-global counters stay untouched.
+        assert!(counters().is_zero());
+        set_session_counters(prev);
+        count(Counter::Rotate, 1);
+        assert_eq!(sink.snapshot().get(Counter::Rotate), 4, "sink detached");
+        reset();
+    }
+
+    #[test]
+    fn session_counters_propagate_across_threads() {
+        let _g = guard();
+        disable();
+        reset();
+        let sink = SessionCounters::new(1);
+        let prev = set_session_counters(Some(Arc::clone(&sink)));
+        let inherited = session_counters().expect("sink installed");
+        std::thread::spawn(move || {
+            set_session_counters(Some(inherited));
+            count(Counter::KeySwitch, 2);
+        })
+        .join()
+        .unwrap();
+        count(Counter::KeySwitch, 1);
+        assert_eq!(sink.snapshot().get(Counter::KeySwitch), 3);
+        set_session_counters(prev);
         reset();
     }
 
