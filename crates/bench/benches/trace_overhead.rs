@@ -7,7 +7,7 @@
 //! static labels but does write thread-local event records).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use spot_trace::{count, span, Cat, Counter};
+use spot_trace::{count, metrics, span, Cat, Counter};
 
 fn bench_disabled(c: &mut Criterion) {
     spot_trace::disable();
@@ -34,6 +34,57 @@ fn bench_disabled(c: &mut Criterion) {
     group.finish();
 }
 
+/// Disabled-path cost of the metrics registry at an instrumentation
+/// site. The acceptance budget is <= 5 ns per site: `Counter::inc`,
+/// `Histogram::observe`, and `Histogram::start_timer` must each be one
+/// relaxed load and a branch when the registry switch is off (the
+/// timer additionally must not touch `Instant::now`).
+fn bench_metrics_disabled(c: &mut Criterion) {
+    metrics::disable();
+    let counter = metrics::global().counter("bench_disabled_total", &[]);
+    let hist = metrics::global().histogram("bench_disabled_ns", &[]);
+    let mut group = c.benchmark_group("metrics/disabled");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc(black_box(1))));
+    group.bench_function("histogram_observe", |b| {
+        b.iter(|| hist.observe(black_box(42)))
+    });
+    group.bench_function("histogram_start_timer", |b| {
+        b.iter(|| {
+            let t = hist.start_timer();
+            black_box(&t);
+        })
+    });
+    group.finish();
+    assert_eq!(
+        counter.get(),
+        0,
+        "disabled counter must not have accumulated"
+    );
+    assert_eq!(hist.count(), 0, "disabled histogram must not have recorded");
+}
+
+/// Enabled-path cost for reference: relaxed atomic adds, plus two
+/// `Instant::now` calls for the RAII timer.
+fn bench_metrics_enabled(c: &mut Criterion) {
+    metrics::enable();
+    let counter = metrics::global().counter("bench_enabled_total", &[]);
+    let hist = metrics::global().histogram("bench_enabled_ns", &[]);
+    let mut group = c.benchmark_group("metrics/enabled");
+    group.bench_function("counter_inc", |b| b.iter(|| counter.inc(black_box(1))));
+    group.bench_function("histogram_observe", |b| {
+        b.iter(|| hist.observe(black_box(42)))
+    });
+    group.bench_function("histogram_start_timer", |b| {
+        b.iter(|| {
+            let t = hist.start_timer();
+            black_box(&t);
+        })
+    });
+    group.finish();
+    metrics::disable();
+    metrics::global().reset();
+}
+
 fn bench_enabled(c: &mut Criterion) {
     spot_trace::enable();
     let mut group = c.benchmark_group("trace/enabled");
@@ -51,5 +102,11 @@ fn bench_enabled(c: &mut Criterion) {
     spot_trace::reset();
 }
 
-criterion_group!(benches, bench_disabled, bench_enabled);
+criterion_group!(
+    benches,
+    bench_disabled,
+    bench_metrics_disabled,
+    bench_enabled,
+    bench_metrics_enabled
+);
 criterion_main!(benches);

@@ -11,7 +11,16 @@
 //!              [--latency-cap-ms MS] [--mode closed|open] [--interval-ms MS]
 //!              [--concurrency C] [--scheme spot|channelwise|cheetah]
 //!              [--seed S] [--max-sessions N] [--sweep 1,8,64] [--json PATH]
+//!              [--scrape ADDR]
 //! ```
+//!
+//! Latency percentiles (p50/p99/p99.9) come from the streaming
+//! [`metrics::Histogram`] — fixed footprint however many requests a
+//! sweep issues, mergeable across client threads, the same type the
+//! server exposes on `/metrics`. `--scrape ADDR` polls a running
+//! `spot-server --admin` endpoint after each scenario so
+//! client-observed latency can be cross-checked against the
+//! server-side view in one report.
 //!
 //! Every client verifies each reconstructed output against the
 //! plaintext forward pass and prints `client I: output vs plain:
@@ -32,6 +41,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use spot_bench::check::{http_get, parse_prometheus};
 use spot_core::error::SpotError;
 use spot_core::inference::TinyCnn;
 use spot_core::patching::PatchMode;
@@ -44,7 +54,7 @@ use spot_he::params::{EncryptionParams, ParamLevel};
 use spot_proto::transport::{MemTransport, TcpTransport};
 use spot_proto::{error_code, Transport};
 use spot_tensor::tensor::Tensor;
-use spot_trace::Counter;
+use spot_trace::{metrics, Counter};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -153,12 +163,17 @@ struct ClientResult {
     mismatched: usize,
     errors: usize,
     rejects: usize,
-    latencies: Vec<f64>,
+    // Streaming latency histogram (nanoseconds): fixed footprint no
+    // matter how many requests a sweep issues, and merges exactly with
+    // the other clients' — the same type the server serves on /metrics.
+    latency: metrics::Histogram,
 }
 
 impl ClientResult {
-    fn absorb(&mut self, want: &Tensor, got: Result<Tensor, SpotError>, latency: f64) {
-        self.latencies.push(latency);
+    fn absorb(&mut self, want: &Tensor, got: Result<Tensor, SpotError>, latency: Duration) {
+        // record(), not observe(): this histogram is loadgen-owned and
+        // counts regardless of the process-wide metrics switch.
+        self.latency.record(latency.as_nanos() as u64);
         match got {
             Ok(out) if out == *want => self.matched += 1,
             Ok(_) => self.mismatched += 1,
@@ -194,19 +209,13 @@ struct ScenarioResult {
     wall_s: f64,
     p50_s: f64,
     p99_s: f64,
+    p999_s: f64,
     mean_s: f64,
     throughput_rps: f64,
     cache_builds: u64,
     cache_hits: u64,
     sessions: usize,
     per_client_status: Vec<&'static str>,
-}
-
-fn percentile(sorted: &[f64], pct: usize) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    sorted[(sorted.len() - 1) * pct / 100]
 }
 
 fn client_input(seed: u64, client: usize, request: usize) -> Tensor {
@@ -252,7 +261,7 @@ fn direct_client(
             )
             .map(|mut outs| outs.remove(0))
         });
-        let latency = t0.elapsed().as_secs_f64();
+        let latency = t0.elapsed();
         gate.release();
         result.absorb(&want, got, latency);
     }
@@ -276,13 +285,13 @@ fn tenant_client(
             let t0 = Instant::now();
             match gateway.submit(input) {
                 Ok(slot) => pending.push((t0, want, slot)),
-                Err(e) => result.absorb(&want, Err(e), t0.elapsed().as_secs_f64()),
+                Err(e) => result.absorb(&want, Err(e), t0.elapsed()),
             }
             std::thread::sleep(scenario.interval);
         }
         for (t0, want, slot) in pending {
             let got = slot.wait();
-            result.absorb(&want, got, t0.elapsed().as_secs_f64());
+            result.absorb(&want, got, t0.elapsed());
         }
     } else {
         for request in 0..scenario.requests {
@@ -290,7 +299,7 @@ fn tenant_client(
             let want = cnn.forward_plain(&input);
             let t0 = Instant::now();
             let got = gateway.submit(input).and_then(|slot| slot.wait());
-            result.absorb(&want, got, t0.elapsed().as_secs_f64());
+            result.absorb(&want, got, t0.elapsed());
         }
     }
     result
@@ -396,17 +405,16 @@ fn run_scenario(
             }
         })
         .collect();
-    let mut latencies: Vec<f64> = per_client
+    // Fold every client thread's streaming histogram into one; the
+    // quantiles come from bucket interpolation, never a sorted vector.
+    let latency = per_client
         .iter()
-        .flat_map(|c| c.latencies.iter().copied())
-        .collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
-    let total: usize = per_client.iter().map(|c| c.latencies.len()).sum();
-    let mean_s = if latencies.is_empty() {
-        0.0
-    } else {
-        latencies.iter().sum::<f64>() / latencies.len() as f64
-    };
+        .map(|c| c.latency.snapshot())
+        .fold(metrics::HistogramSnapshot::default(), |acc, h| {
+            acc.merge(&h)
+        });
+    let total = latency.count as usize;
+    const NS: f64 = 1e9;
     ScenarioResult {
         clients: scenario.clients,
         total,
@@ -415,9 +423,10 @@ fn run_scenario(
         errors: per_client.iter().map(|c| c.errors).sum(),
         rejects: per_client.iter().map(|c| c.rejects).sum(),
         wall_s,
-        p50_s: percentile(&latencies, 50),
-        p99_s: percentile(&latencies, 99),
-        mean_s,
+        p50_s: latency.quantile(0.50) / NS,
+        p99_s: latency.quantile(0.99) / NS,
+        p999_s: latency.quantile(0.999) / NS,
+        mean_s: latency.mean() / NS,
         throughput_rps: if wall_s > 0.0 {
             total as f64 / wall_s
         } else {
@@ -434,7 +443,7 @@ fn scenario_json(r: &ScenarioResult) -> String {
     format!(
         "{{\"clients\": {}, \"total_requests\": {}, \"matched\": {}, \"mismatched\": {}, \
          \"errors\": {}, \"admission_rejects\": {}, \"sessions\": {}, \
-         \"latency_s\": {{\"p50\": {:.4}, \"p99\": {:.4}, \"mean\": {:.4}}}, \
+         \"latency_s\": {{\"p50\": {:.4}, \"p99\": {:.4}, \"p999\": {:.4}, \"mean\": {:.4}}}, \
          \"throughput_rps\": {:.4}, \"wall_s\": {:.4}, \
          \"kernel_cache_builds\": {}, \"kernel_cache_hits\": {}}}",
         r.clients,
@@ -446,6 +455,7 @@ fn scenario_json(r: &ScenarioResult) -> String {
         r.sessions,
         r.p50_s,
         r.p99_s,
+        r.p999_s,
         r.mean_s,
         r.throughput_rps,
         r.wall_s,
@@ -461,13 +471,57 @@ fn print_scenario(r: &ScenarioResult) {
     println!("admission rejects: {}", r.rejects);
     println!(
         "spot-loadgen: {} requests over {} sessions in {:.3}s — p50 {:.3}s, p99 {:.3}s, \
-         {:.3} req/s",
-        r.total, r.sessions, r.wall_s, r.p50_s, r.p99_s, r.throughput_rps
+         p99.9 {:.3}s, {:.3} req/s",
+        r.total, r.sessions, r.wall_s, r.p50_s, r.p99_s, r.p999_s, r.throughput_rps
     );
     println!(
         "spot-loadgen: kernel cache — {} builds, {} hits",
         r.cache_builds, r.cache_hits
     );
+}
+
+/// Polls a `spot-server --admin` endpoint and prints the server-side
+/// view next to what this process just observed: session totals and
+/// the mean session wall time from `spot_session_wall_ns`, which
+/// client-observed latency should bound from above (it adds connect
+/// and key-generation time the server never sees).
+fn scrape_and_crosscheck(addr: &str, r: &ScenarioResult) {
+    let body = match http_get(addr, "/metrics") {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("spot-loadgen: scrape {addr} failed: {e}");
+            return;
+        }
+    };
+    let map = parse_prometheus(&body);
+    let get = |k: &str| map.get(k).copied().unwrap_or(0.0);
+    let served = get("spot_sessions_served");
+    let rejected = get("spot_sessions_rejected");
+    let wall_count = get("spot_session_wall_ns_count");
+    let server_mean_s = if wall_count > 0.0 {
+        get("spot_session_wall_ns_sum") / wall_count / 1e9
+    } else {
+        0.0
+    };
+    let conv_count: f64 = map
+        .iter()
+        .filter(|(k, _)| k.starts_with("spot_conv_serve_ns_count"))
+        .map(|(_, v)| v)
+        .sum();
+    println!(
+        "spot-loadgen: scrape {addr} — served {served}, rejected {rejected}, \
+         {conv_count} convs; server mean session {server_mean_s:.3}s vs \
+         client-observed mean {:.3}s",
+        r.mean_s
+    );
+    if server_mean_s > 0.0 && r.mean_s > 0.0 && server_mean_s > r.mean_s {
+        println!(
+            "spot-loadgen: scrape cross-check SUSPECT — server-side session wall \
+             exceeds client-observed latency"
+        );
+    } else {
+        println!("spot-loadgen: scrape cross-check OK");
+    }
 }
 
 fn main() {
@@ -532,6 +586,11 @@ fn main() {
         "--sweep needs --mem (one shared in-process server across scenarios)"
     );
     let json_path = arg_value(&args, "--json");
+    let scrape_addr = arg_value(&args, "--scrape");
+    assert!(
+        scrape_addr.is_none() || !mem,
+        "--scrape needs --connect (it polls a remote spot-server --admin endpoint)"
+    );
 
     let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
     let cnn = TinyCnn::new(7);
@@ -579,6 +638,9 @@ fn main() {
         );
         let result = run_scenario(&ctx, &cnn, &upstream, &scenario);
         print_scenario(&result);
+        if let Some(addr) = &scrape_addr {
+            scrape_and_crosscheck(addr, &result);
+        }
         results.push(result);
     }
 

@@ -13,17 +13,24 @@
 //! report, and exit (the loopback CI jobs and `results/tcp_demo.txt`
 //! rely on this exact behavior).
 //!
+//! `--admin <addr>` starts the live observability endpoint
+//! ([`spot_core::admin`]): `GET /metrics` (Prometheus text),
+//! `/healthz`, `/sessions`. Diagnostics go through the `SPOT_LOG`
+//! leveled logger (`SPOT_LOG=debug` for per-session detail).
+//!
 //! ```text
 //! spot-server [--listen 127.0.0.1:7341] [--backend streaming|phased]
 //!             [--threads N] [--capacity N] [--seed S] [--trace out.json]
 //!             [--once] [--max-sessions N] [--max-batch N] [--pool N]
-//!             [--serve N] [--read-timeout-ms MS]
+//!             [--serve N] [--read-timeout-ms MS] [--admin ADDR]
+//!             [--linger-ms MS]
 //! ```
 //!
 //! [`ModelContext`]: spot_core::serving::ModelContext
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use spot_core::admin::AdminServer;
 use spot_core::executor::Executor;
 use spot_core::inference::TinyCnn;
 use spot_core::serving::{ModelContext, ServingConfig, SpotServer};
@@ -35,7 +42,7 @@ use spot_he::params::{EncryptionParams, ParamLevel};
 use spot_pipeline::report::{stall_table, transfer_table, TransferRow};
 use spot_proto::channel::LinkModel;
 use spot_proto::transport::{TcpTransport, Transport};
-use spot_trace::Counter;
+use spot_trace::{log_error, log_info, log_warn, Counter};
 use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::Duration;
@@ -97,6 +104,10 @@ fn main() {
         .unwrap_or(0);
     let read_timeout_ms: Option<u64> = arg_value(&args, "--read-timeout-ms")
         .map(|v| v.parse().expect("--read-timeout-ms takes a number"));
+    let admin_addr = arg_value(&args, "--admin");
+    let linger_ms: u64 = arg_value(&args, "--linger-ms")
+        .map(|v| v.parse().expect("--linger-ms takes a number"))
+        .unwrap_or(0);
 
     let streaming = match backend_name.as_str() {
         "phased" => false,
@@ -115,6 +126,12 @@ fn main() {
     let model = ModelContext::new("tinycnn-7", ctx, cnn);
     let server = Arc::new(SpotServer::new(model, config));
 
+    let admin = admin_addr.map(|addr| {
+        let handle = AdminServer::bind(&addr, Arc::clone(&server)).expect("bind admin address");
+        log_info!("server", "admin endpoint on http://{}", handle.addr());
+        handle
+    });
+
     println!(
         "spot-server: listening on {} (serving mode, backend {backend_name}, max {max_sessions} \
          sessions, {pool_workers} pool workers)",
@@ -127,7 +144,7 @@ fn main() {
         let (stream, peer) = match listener.accept() {
             Ok(conn) => conn,
             Err(e) => {
-                eprintln!("spot-server: accept failed: {e}");
+                log_error!("server", "accept failed: {e}");
                 continue;
             }
         };
@@ -137,7 +154,7 @@ fn main() {
             let transport = match TcpTransport::from_stream(stream) {
                 Ok(t) => t,
                 Err(e) => {
-                    eprintln!("spot-server: rejecting {peer}: {e}");
+                    log_warn!("server", "rejecting {peer}: {e}");
                     return;
                 }
             };
@@ -146,8 +163,9 @@ fn main() {
             }
             let report = server.serve_connection(&transport);
             match &report.result {
-                Ok(r) => println!(
-                    "spot-server: session {} ({peer}) done — batch {}, {} rotations, \
+                Ok(r) => log_info!(
+                    "server",
+                    "session {} ({peer}) done — batch {}, {} rotations, \
                      kernel cache {} builds / {} hits, {:.3}s",
                     report.id,
                     r.batch,
@@ -157,9 +175,9 @@ fn main() {
                     report.wall.as_secs_f64()
                 ),
                 Err(e) if report.id == u64::MAX => {
-                    println!("spot-server: refused {peer}: {e}")
+                    log_warn!("server", "refused {peer}: {e}")
                 }
-                Err(e) => println!("spot-server: session {} ({peer}) failed: {e}", report.id),
+                Err(e) => log_warn!("server", "session {} ({peer}) failed: {e}", report.id),
             }
         }));
     }
@@ -174,6 +192,14 @@ fn main() {
         stats.rejected,
         server.model().caches().total_entries()
     );
+    // Keep the process (and admin endpoint) alive briefly so a smoke
+    // test can take a final /metrics scrape of the completed totals.
+    if linger_ms > 0 {
+        std::thread::sleep(Duration::from_millis(linger_ms));
+    }
+    if let Some(handle) = admin {
+        handle.shutdown();
+    }
     if let (Some(path), Some(baseline)) = (&trace_path, &trace_baseline) {
         spot_bench::traceio::trace_finish(std::path::Path::new(path), baseline);
     }

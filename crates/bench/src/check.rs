@@ -1,0 +1,698 @@
+//! Perf-regression gate machinery behind the `bench_check` binary and
+//! `spot-loadgen --scrape`: parse the numbers we already emit
+//! (`BENCH_*.json` baselines, Prometheus `/metrics` scrapes), flatten
+//! them into `metric path -> value` maps, and diff two maps under a
+//! tolerance.
+//!
+//! ## Flattening
+//!
+//! A JSON document flattens by joining object keys with `/`
+//! (`latency_s.p99` in scenario 0 of `BENCH_serving.json` becomes
+//! `scenarios/clients=16/latency_s/p99`). An array element that is an
+//! object is keyed by its **string-valued fields** (and a `clients`
+//! count, the one numeric identity our schemas use) so entry order
+//! never matters: a heops row becomes
+//! `entries/ntt_forward/N4096/avx2+scalar/mean_us`. Elements with no
+//! identity fall back to their index. A Prometheus scrape flattens to
+//! `name{labels}` keys verbatim.
+//!
+//! ## Direction
+//!
+//! A diff only flags what a human would call a regression, so each
+//! metric's *direction* is inferred from its name: time-like names
+//! (`*_us`, `*_ns`, `p50`/`p99`/`mean`/`wall_s`, ...) regress when they
+//! grow, rate-like names (`*speedup*`, `*throughput*`, `*hits*`)
+//! regress when they shrink, and identity-like names (`reps`,
+//! `clients`, `matched`) are ignored. [`classify`] is the single
+//! source of that rule.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+// ---------------------------------------------------------------------
+// Minimal JSON value parser (the workspace is zero-dependency; this is
+// the read-side twin of the hand-rolled writers in the bench binaries)
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, as f64.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered by key.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    let start = self.pos;
+                    while !matches!(self.peek(), Some(b'"' | b'\\') | None) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid utf-8 in string")?,
+                    );
+                }
+                None => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("bad array at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("bad object at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after JSON at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+// ---------------------------------------------------------------------
+// Flattening to metric maps
+// ---------------------------------------------------------------------
+
+/// A flat `metric path -> value` view of a document.
+pub type MetricMap = BTreeMap<String, f64>;
+
+/// The identity key for an object array element: its string-valued
+/// fields (plus `clients`, the one numeric identity our schemas use),
+/// joined with `/` — or `None` when it has no such fields.
+fn element_identity(members: &[(String, Json)]) -> Option<String> {
+    let mut parts = Vec::new();
+    for (k, v) in members {
+        match v {
+            Json::Str(s) => parts.push(s.clone()),
+            Json::Num(n) if k == "clients" => parts.push(format!("clients={n}")),
+            _ => {}
+        }
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join("/"))
+    }
+}
+
+fn flatten_into(prefix: &str, value: &Json, out: &mut MetricMap) {
+    match value {
+        Json::Num(n) => {
+            out.insert(prefix.to_string(), *n);
+        }
+        Json::Obj(members) => {
+            for (k, v) in members {
+                let path = if prefix.is_empty() {
+                    k.clone()
+                } else {
+                    format!("{prefix}/{k}")
+                };
+                flatten_into(&path, v, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                let segment = match item {
+                    Json::Obj(members) => {
+                        element_identity(members).unwrap_or_else(|| i.to_string())
+                    }
+                    _ => i.to_string(),
+                };
+                flatten_into(&format!("{prefix}/{segment}"), item, out);
+            }
+        }
+        // Strings are identity, not measurements; bools/nulls carry no
+        // magnitude to diff.
+        Json::Str(_) | Json::Bool(_) | Json::Null => {}
+    }
+}
+
+/// Flattens a parsed JSON document into a metric map (see module docs
+/// for the path scheme).
+pub fn flatten_json(doc: &Json) -> MetricMap {
+    let mut out = MetricMap::new();
+    flatten_into("", doc, &mut out);
+    out
+}
+
+/// Parses Prometheus text exposition into a metric map keyed
+/// `name{labels}` exactly as exposed (comment lines skipped).
+pub fn parse_prometheus(text: &str) -> MetricMap {
+    let mut out = MetricMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // `name{labels} value` or `name value`; labels may hold spaces
+        // inside quotes, so split at the last space.
+        let Some(split) = line.rfind(' ') else {
+            continue;
+        };
+        let (series, value) = line.split_at(split);
+        if let Ok(v) = value.trim().parse::<f64>() {
+            out.insert(series.trim().to_string(), v);
+        }
+    }
+    // Histogram internals (`_sum`/`_count`/`_bucket`) are cumulative
+    // volume, not a perf signal — a longer run always has more of them.
+    // The comparable quantity is the mean sample, so derive a
+    // `<base>_mean{labels}` series wherever a sum/count pair exists.
+    let means: Vec<(String, f64)> = out
+        .iter()
+        .filter_map(|(key, &sum)| {
+            let (name, labels) = key.split_once('{').unwrap_or((key, ""));
+            let base = name.strip_suffix("_sum")?;
+            let count_key = if labels.is_empty() {
+                format!("{base}_count")
+            } else {
+                format!("{base}_count{{{labels}")
+            };
+            let count = *out.get(&count_key)?;
+            (count > 0.0).then(|| {
+                let mean_key = if labels.is_empty() {
+                    format!("{base}_mean")
+                } else {
+                    format!("{base}_mean{{{labels}")
+                };
+                (mean_key, sum / count)
+            })
+        })
+        .collect();
+    out.extend(means);
+    out
+}
+
+/// Parses either of the formats a baseline file can hold: a
+/// `BENCH_*.json` document or saved Prometheus text.
+pub fn parse_baseline(content: &str) -> Result<MetricMap, String> {
+    if content.trim_start().starts_with('{') {
+        Ok(flatten_json(&parse_json(content)?))
+    } else {
+        let map = parse_prometheus(content);
+        if map.is_empty() {
+            return Err("baseline is neither JSON nor Prometheus text".into());
+        }
+        Ok(map)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scraping
+// ---------------------------------------------------------------------
+
+/// Issues `GET path` against `addr` (a `host:port` admin endpoint) and
+/// returns the response body.
+pub fn http_get(addr: &str, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(format!("GET {path} HTTP/1.0\r\n\r\n").as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((head, body)) if head.starts_with("HTTP/1.0 200") => Ok(body.to_string()),
+        Some((head, _)) => Err(std::io::Error::other(format!(
+            "GET {path}: {}",
+            head.lines().next().unwrap_or("no status line")
+        ))),
+        None => Err(std::io::Error::other("malformed HTTP response")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------
+
+/// What growing means for one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Time/size-like: bigger is worse.
+    LowerIsBetter,
+    /// Rate-like: smaller is worse.
+    HigherIsBetter,
+    /// Identity/count-like: not a perf signal, skipped.
+    Neutral,
+}
+
+/// Infers a metric's direction from its flattened path (see module
+/// docs).
+pub fn classify(path: &str) -> Direction {
+    let lower = path.to_ascii_lowercase();
+    let has = |needles: &[&str]| needles.iter().any(|n| lower.contains(n));
+    // Cumulative histogram components scale with run length, not
+    // performance; the derived `_mean` series carries the signal.
+    let series_name = lower.split('{').next().unwrap_or(&lower);
+    if series_name.ends_with("_sum")
+        || series_name.ends_with("_count")
+        || series_name.ends_with("_bucket")
+        || series_name.ends_with("_total")
+    {
+        return Direction::Neutral;
+    }
+    if has(&["speedup", "throughput", "rps", "hits"]) {
+        Direction::HigherIsBetter
+    } else if has(&[
+        "_us", "_ns", "_ms", "_s/", "wall_s", "latency", "p50", "p90", "p99", "mean", "median",
+        "min", "blocked", "stall",
+    ]) || lower.ends_with("_s")
+    {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Neutral
+    }
+}
+
+/// One metric that moved past the tolerance in the bad direction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regression {
+    /// Flattened metric path.
+    pub metric: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// `current / baseline` (worse-direction ratio > 1 + tolerance).
+    pub ratio: f64,
+}
+
+impl fmt::Display for Regression {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.3} -> {:.3} ({:+.1}%)",
+            self.metric,
+            self.baseline,
+            self.current,
+            (self.current / self.baseline - 1.0) * 100.0
+        )
+    }
+}
+
+/// The outcome of one comparison run.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Metrics compared (present in both maps with a non-neutral
+    /// direction and a nonzero baseline).
+    pub compared: usize,
+    /// Metrics that regressed past the tolerance.
+    pub regressions: Vec<Regression>,
+}
+
+/// Diffs `current` against `baseline`: every shared, direction-bearing
+/// metric whose worse-direction change exceeds `tolerance`
+/// (e.g. `0.25` = 25%) is reported. Metrics only present on one side
+/// are ignored — baselines age, scrapes carry extra series.
+pub fn compare(baseline: &MetricMap, current: &MetricMap, tolerance: f64) -> CheckReport {
+    let mut report = CheckReport::default();
+    for (path, &base) in baseline {
+        let Some(&cur) = current.get(path) else {
+            continue;
+        };
+        let direction = classify(path);
+        if direction == Direction::Neutral || base <= 0.0 {
+            continue;
+        }
+        report.compared += 1;
+        let worse_ratio = match direction {
+            Direction::LowerIsBetter => cur / base,
+            Direction::HigherIsBetter => base / cur.max(f64::MIN_POSITIVE),
+            Direction::Neutral => unreachable!(),
+        };
+        if worse_ratio > 1.0 + tolerance {
+            report.regressions.push(Regression {
+                metric: path.clone(),
+                baseline: base,
+                current: cur,
+                ratio: worse_ratio,
+            });
+        }
+    }
+    report
+        .regressions
+        .sort_by(|a, b| b.ratio.partial_cmp(&a.ratio).expect("finite ratios"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BENCH_FIXTURE: &str = r#"{
+        "schema": "spot-bench-heops/v1",
+        "entries": [
+            {"op": "ntt_forward", "level": "N4096", "kernel": "scalar", "reps": 200, "mean_us": 60.0, "min_us": 55.0},
+            {"op": "rotate", "level": "N4096", "kernel": "scalar", "reps": 20, "mean_us": 1700.0, "min_us": 1650.0}
+        ],
+        "speedups": {"ntt_forward_N4096": 1.9}
+    }"#;
+
+    #[test]
+    fn json_roundtrip_and_flatten() {
+        let doc = parse_json(BENCH_FIXTURE).expect("parse fixture");
+        let map = flatten_json(&doc);
+        assert_eq!(map["entries/ntt_forward/N4096/scalar/mean_us"], 60.0);
+        assert_eq!(map["entries/rotate/N4096/scalar/min_us"], 1650.0);
+        assert_eq!(map["speedups/ntt_forward_N4096"], 1.9);
+        // Identity-by-fields, not by index: a reordered file flattens
+        // to the same map.
+        let reordered = parse_json(
+            &BENCH_FIXTURE.replace(
+                r#"{"op": "ntt_forward", "level": "N4096", "kernel": "scalar", "reps": 200, "mean_us": 60.0, "min_us": 55.0},"#,
+                "",
+            )
+            .replace(
+                r#"{"op": "rotate", "level": "N4096", "kernel": "scalar", "reps": 20, "mean_us": 1700.0, "min_us": 1650.0}"#,
+                r#"{"op": "rotate", "level": "N4096", "kernel": "scalar", "reps": 20, "mean_us": 1700.0, "min_us": 1650.0},
+                   {"op": "ntt_forward", "level": "N4096", "kernel": "scalar", "reps": 200, "mean_us": 60.0, "min_us": 55.0}"#,
+            ),
+        )
+        .expect("parse reordered");
+        assert_eq!(map, flatten_json(&reordered));
+    }
+
+    #[test]
+    fn injected_regression_is_flagged_and_tolerance_holds() {
+        let base = flatten_json(&parse_json(BENCH_FIXTURE).expect("parse"));
+        // 10% slower ntt mean: inside a 25% tolerance, outside 5%.
+        let slower = BENCH_FIXTURE.replace("\"mean_us\": 60.0", "\"mean_us\": 66.0");
+        let cur = flatten_json(&parse_json(&slower).expect("parse"));
+        assert!(compare(&base, &cur, 0.25).regressions.is_empty());
+        let report = compare(&base, &cur, 0.05);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(
+            report.regressions[0].metric,
+            "entries/ntt_forward/N4096/scalar/mean_us"
+        );
+        // A speedup *drop* is also a regression (higher-is-better).
+        let slower_speedup = BENCH_FIXTURE.replace("1.9", "1.0");
+        let cur = flatten_json(&parse_json(&slower_speedup).expect("parse"));
+        let report = compare(&base, &cur, 0.25);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(report.regressions[0].metric, "speedups/ntt_forward_N4096");
+    }
+
+    #[test]
+    fn faster_is_never_a_regression() {
+        let base = flatten_json(&parse_json(BENCH_FIXTURE).expect("parse"));
+        let faster = BENCH_FIXTURE
+            .replace("\"mean_us\": 60.0", "\"mean_us\": 20.0")
+            .replace("1.9", "5.0");
+        let cur = flatten_json(&parse_json(&faster).expect("parse"));
+        let report = compare(&base, &cur, 0.0);
+        assert!(
+            report.regressions.is_empty(),
+            "got {:?}",
+            report.regressions
+        );
+        assert!(report.compared > 0);
+    }
+
+    #[test]
+    fn prometheus_text_parses_to_series_map() {
+        let text = "# TYPE spot_sessions_served counter\n\
+                    spot_sessions_served 16\n\
+                    spot_conv_serve_ns_bucket{scheme=\"spot\",le=\"1023\"} 3\n\
+                    spot_conv_serve_ns_sum{scheme=\"spot\"} 2800\n";
+        let map = parse_prometheus(text);
+        assert_eq!(map["spot_sessions_served"], 16.0);
+        assert_eq!(
+            map["spot_conv_serve_ns_bucket{scheme=\"spot\",le=\"1023\"}"],
+            3.0
+        );
+        assert_eq!(map["spot_conv_serve_ns_sum{scheme=\"spot\"}"], 2800.0);
+        assert!(parse_baseline(text).is_ok());
+        assert!(parse_baseline("not a baseline").is_err());
+    }
+
+    #[test]
+    fn direction_classification() {
+        assert_eq!(
+            classify("entries/rotate/N4096/scalar/mean_us"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            classify("scenarios/clients=16/latency_s/p99"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(
+            classify("scenarios/clients=16/throughput_rps"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            classify("speedups/ntt_forward_N4096"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            classify("entries/rotate/N4096/scalar/reps"),
+            Direction::Neutral
+        );
+        assert_eq!(classify("scenarios/clients=16/matched"), Direction::Neutral);
+        // Cumulative histogram internals scale with run length, never a
+        // regression by themselves; the derived mean carries the signal.
+        assert_eq!(
+            classify("spot_conv_serve_ns_count{scheme=\"spot\"}"),
+            Direction::Neutral
+        );
+        assert_eq!(
+            classify("spot_conv_serve_ns_bucket{scheme=\"spot\",le=\"1023\"}"),
+            Direction::Neutral
+        );
+        assert_eq!(classify("spot_session_wall_ns_sum"), Direction::Neutral);
+        assert_eq!(
+            classify("spot_conv_serve_ns_mean{scheme=\"spot\"}"),
+            Direction::LowerIsBetter
+        );
+    }
+
+    #[test]
+    fn scraped_histograms_compare_by_mean_not_volume() {
+        // Same mean latency but twice the samples (a longer run): no
+        // regression. Double the mean at equal volume: flagged.
+        let earlier = parse_prometheus(
+            "spot_conv_serve_ns_sum{scheme=\"spot\"} 1000\n\
+             spot_conv_serve_ns_count{scheme=\"spot\"} 10\n\
+             spot_conv_serve_ns_bucket{scheme=\"spot\",le=\"+Inf\"} 10\n",
+        );
+        assert_eq!(earlier["spot_conv_serve_ns_mean{scheme=\"spot\"}"], 100.0);
+        let longer = parse_prometheus(
+            "spot_conv_serve_ns_sum{scheme=\"spot\"} 2000\n\
+             spot_conv_serve_ns_count{scheme=\"spot\"} 20\n\
+             spot_conv_serve_ns_bucket{scheme=\"spot\",le=\"+Inf\"} 20\n",
+        );
+        let report = compare(&earlier, &longer, 0.25);
+        assert!(
+            report.regressions.is_empty(),
+            "got {:?}",
+            report.regressions
+        );
+        let slower = parse_prometheus(
+            "spot_conv_serve_ns_sum{scheme=\"spot\"} 2000\n\
+             spot_conv_serve_ns_count{scheme=\"spot\"} 10\n\
+             spot_conv_serve_ns_bucket{scheme=\"spot\",le=\"+Inf\"} 10\n",
+        );
+        let report = compare(&earlier, &slower, 0.25);
+        assert_eq!(report.regressions.len(), 1);
+        assert_eq!(
+            report.regressions[0].metric,
+            "spot_conv_serve_ns_mean{scheme=\"spot\"}"
+        );
+    }
+
+    #[test]
+    fn committed_baselines_parse() {
+        for path in ["../../BENCH_heops.json", "../../BENCH_serving.json"] {
+            let Ok(content) = std::fs::read_to_string(path) else {
+                continue; // moved baselines are not this test's concern
+            };
+            let map = parse_baseline(&content).expect("baseline parses");
+            assert!(!map.is_empty(), "{path} flattened to nothing");
+        }
+    }
+}

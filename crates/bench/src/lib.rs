@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod calibrate;
+pub mod check;
 pub mod traceio;
 pub mod workloads;
 

@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admin;
 pub mod batch;
 pub mod channelwise;
 pub mod cheetah;

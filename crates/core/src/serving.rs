@@ -48,7 +48,8 @@ use spot_pipeline::device::DeviceProfile;
 use spot_proto::transport::TransportStats;
 use spot_proto::{error_code, Transport, WireMessage};
 use spot_tensor::tensor::Tensor;
-use spot_trace::{Cat, CounterSnapshot, SessionCounters};
+use spot_trace::{log_info, log_warn, metrics, Cat, Counter, CounterSnapshot, SessionCounters};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -258,6 +259,57 @@ struct StatsCells {
     failed: AtomicUsize,
 }
 
+/// The server's live-registry handles, registered once at construction
+/// so every series exists (at zero) from the first `/metrics` scrape,
+/// before any session has run.
+#[derive(Debug)]
+struct ServerMetrics {
+    active: Arc<metrics::Gauge>,
+    served: Arc<metrics::Counter>,
+    rejected: Arc<metrics::Counter>,
+    failed: Arc<metrics::Counter>,
+    session_wall_ns: Arc<metrics::Histogram>,
+    kernel_cache_builds: Arc<metrics::Counter>,
+    kernel_cache_hits: Arc<metrics::Counter>,
+}
+
+impl ServerMetrics {
+    fn new() -> Self {
+        let reg = metrics::global();
+        Self {
+            active: reg.gauge("spot_sessions_active", &[]),
+            served: reg.counter("spot_sessions_served", &[]),
+            rejected: reg.counter("spot_sessions_rejected", &[]),
+            failed: reg.counter("spot_sessions_failed", &[]),
+            session_wall_ns: reg.histogram("spot_session_wall_ns", &[]),
+            kernel_cache_builds: reg.counter("spot_kernel_cache_builds", &[]),
+            kernel_cache_hits: reg.counter("spot_kernel_cache_hits", &[]),
+        }
+    }
+
+    /// Folds one finished session's [`CounterSnapshot`] into the
+    /// registry: the kernel-cache split gets first-class series, and
+    /// every typed trace counter is mirrored as
+    /// `spot_server_ops{op="<name>"}` — the documented bridge between
+    /// the per-session snapshot and the live `/metrics` view.
+    fn absorb_session(&self, counters: &CounterSnapshot) {
+        if !metrics::enabled() {
+            return;
+        }
+        self.kernel_cache_builds
+            .inc(counters.get(Counter::KernelCacheBuild));
+        self.kernel_cache_hits
+            .inc(counters.get(Counter::KernelCacheHit));
+        let reg = metrics::global();
+        for c in Counter::ALL {
+            let n = counters.get(c);
+            if n > 0 {
+                reg.counter("spot_server_ops", &[("op", c.name())]).inc(n);
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // The server
 // ---------------------------------------------------------------------
@@ -294,6 +346,10 @@ pub struct SpotServer {
     active: AtomicUsize,
     next_id: AtomicU64,
     stats: StatsCells,
+    metrics: ServerMetrics,
+    // Admitted, still-running sessions: id -> admission instant. Feeds
+    // the admin endpoint's `/sessions` view.
+    in_flight: Mutex<BTreeMap<u64, Instant>>,
 }
 
 impl SpotServer {
@@ -306,6 +362,8 @@ impl SpotServer {
             active: AtomicUsize::new(0),
             next_id: AtomicU64::new(0),
             stats: StatsCells::default(),
+            metrics: ServerMetrics::new(),
+            in_flight: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -322,6 +380,30 @@ impl SpotServer {
     /// Sessions currently admitted and running.
     pub fn active_sessions(&self) -> usize {
         self.active.load(Ordering::Acquire)
+    }
+
+    /// The shared worker pool (admin introspection).
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+
+    /// Whether the server would currently degrade new work: sessions at
+    /// the admission cap (the next connection is refused), or a
+    /// non-empty worker pool fully claimed (new sessions run serial).
+    /// This is the `/healthz` "overloaded" predicate.
+    pub fn overloaded(&self) -> bool {
+        self.active_sessions() >= self.config.max_sessions
+            || (self.pool.total() > 0 && self.pool.available() == 0)
+    }
+
+    /// `(id, time since admission)` for every in-flight session, in id
+    /// order (the admin endpoint's `/sessions` view).
+    pub fn session_info(&self) -> Vec<(u64, Duration)> {
+        let in_flight = self.in_flight.lock().unwrap_or_else(|p| p.into_inner());
+        in_flight
+            .iter()
+            .map(|(&id, t0)| (id, t0.elapsed()))
+            .collect()
     }
 
     /// Monotonic serving totals so far.
@@ -350,7 +432,9 @@ impl SpotServer {
         loop {
             if cur >= self.config.max_sessions {
                 self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                self.metrics.rejected.inc(1);
                 let detail = format!("at capacity ({} sessions)", self.config.max_sessions);
+                log_warn!("serving", "rejecting connection: {detail}");
                 let _ = transport.send(&WireMessage::Error {
                     code: error_code::SERVER_FULL,
                     detail: detail.clone(),
@@ -380,6 +464,11 @@ impl SpotServer {
         }
         let id = self.next_id.fetch_add(1, Ordering::SeqCst);
         let seed = session_seed(self.config.base_seed, id);
+        self.metrics.active.add(1);
+        self.in_flight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .insert(id, t0);
 
         // Attribute every counter this thread (and its pool workers)
         // touches to this session.
@@ -414,6 +503,8 @@ impl SpotServer {
         match &result {
             Ok(_) => {
                 self.stats.served.fetch_add(1, Ordering::Relaxed);
+                self.metrics.served.inc(1);
+                log_info!("serving", "session {id} done");
             }
             Err(e) => {
                 // Tell the client why before hanging up (best effort —
@@ -422,17 +513,28 @@ impl SpotServer {
                 let _ = transport.send(&WireMessage::Error { code, detail });
                 transport.close_tx();
                 self.stats.failed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.failed.inc(1);
+                log_warn!("serving", "session {id} failed: {e}");
             }
         }
         spot_trace::set_session_counters(prev_sink);
+        self.in_flight
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .remove(&id);
+        self.metrics.active.sub(1);
         self.active.fetch_sub(1, Ordering::AcqRel);
+        let counters = sink.snapshot();
+        self.metrics.absorb_session(&counters);
+        let wall = t0.elapsed();
+        self.metrics.session_wall_ns.observe(wall.as_nanos() as u64);
         SessionReport {
             id,
             seed,
             result,
-            counters: sink.snapshot(),
+            counters,
             traffic: transport.stats(),
-            wall: t0.elapsed(),
+            wall,
         }
     }
 }

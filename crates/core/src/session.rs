@@ -1492,7 +1492,11 @@ pub fn serve_conv_with<R: Rng>(
         Some(shared) => shared.class_caches(&spec, classes),
         None => (0..classes).map(|_| KernelCache::new()).collect(),
     };
-    match detail {
+    // Live-registry serve latency, labeled by scheme. The Instant is
+    // only taken when metrics are on, and only successful serves are
+    // recorded — error paths would pollute the latency series.
+    let serve_start = spot_trace::metrics::enabled().then(Instant::now);
+    let result = match detail {
         PlanDetail::Channelwise {
             geo,
             layout,
@@ -1550,7 +1554,13 @@ pub fn serve_conv_with<R: Rng>(
             &mut batch_rngs,
             rng,
         ),
+    };
+    if let (Some(t0), Ok(_)) = (serve_start, &result) {
+        spot_trace::metrics::global()
+            .histogram("spot_conv_serve_ns", &[("scheme", spec.scheme.name())])
+            .record(t0.elapsed().as_nanos() as u64);
     }
+    result
 }
 
 #[allow(clippy::too_many_arguments)]

@@ -53,11 +53,25 @@ use crossbeam::thread;
 use spot_he::pool;
 use spot_pipeline::device::DeviceProfile;
 use spot_pipeline::report::StallRow;
-use spot_trace::{count, gauge, Cat, Counter};
+use spot_trace::{count, gauge, metrics, Cat, Counter};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
+
+// Live-registry histograms for the streaming runtime, registered once
+// per process: producer time blocked on channel backpressure (SPOT's
+// headline stall number, readable off a running server) and per-item
+// conv wall time across all worker threads.
+fn stream_queue_blocked_hist() -> &'static metrics::Histogram {
+    static H: OnceLock<std::sync::Arc<metrics::Histogram>> = OnceLock::new();
+    H.get_or_init(|| metrics::global().histogram("spot_stream_queue_blocked_ns", &[]))
+}
+
+fn stream_conv_hist() -> &'static metrics::Histogram {
+    static H: OnceLock<std::sync::Arc<metrics::Histogram>> = OnceLock::new();
+    H.get_or_init(|| metrics::global().histogram("spot_stream_conv_ns", &[]))
+}
 
 // ---------------------------------------------------------------------
 // Bounded MPMC queue
@@ -137,6 +151,9 @@ impl<T> BoundedQueue<T> {
         count(Counter::QueuePushed, 1);
         count(Counter::QueueBlockedNs, blocked.as_nanos() as u64);
         gauge(Cat::Stream, "queue_depth", depth);
+        if metrics::enabled() {
+            stream_queue_blocked_hist().observe(blocked.as_nanos() as u64);
+        }
         Ok(blocked)
     }
 
@@ -448,8 +465,12 @@ where
                     let conv_span = spot_trace::span_owned(Cat::Stream, || format!("conv #{i}"));
                     let job_start = Instant::now();
                     let r = work(i, item);
-                    busy += job_start.elapsed();
+                    let took = job_start.elapsed();
+                    busy += took;
                     drop(conv_span);
+                    if metrics::enabled() {
+                        stream_conv_hist().observe(took.as_nanos() as u64);
+                    }
                     out_q.send((i, r))?;
                 }
                 spot_trace::flush_thread();

@@ -36,8 +36,8 @@ use spot_proto::transport::Transport;
 use spot_proto::wire::WireMessage;
 use spot_tensor::models::ConvShape;
 use spot_tensor::tensor::Tensor;
-use spot_trace::Cat;
-use std::sync::Arc;
+use spot_trace::{metrics, Cat};
+use std::sync::{Arc, OnceLock};
 
 /// `OtRound` op code for ReLU on shares.
 pub const OP_RELU: u8 = 1;
@@ -411,6 +411,18 @@ fn reshare<R: Rng>(values: &[i64], t: u64, rng: &mut R) -> (Vec<u64>, Vec<u64>) 
 
 /// One ReLU round from the server's side: reconstruct, clamp, reshare.
 /// Returns the server's fresh share of the result.
+// Live-registry latency of one full nonlinear round (recv share →
+// compute → reshare → send), per protocol.
+fn relu_round_hist() -> &'static metrics::Histogram {
+    static H: OnceLock<Arc<metrics::Histogram>> = OnceLock::new();
+    H.get_or_init(|| metrics::global().histogram("spot_relu_round_ns", &[]))
+}
+
+fn maxpool_round_hist() -> &'static metrics::Histogram {
+    static H: OnceLock<Arc<metrics::Histogram>> = OnceLock::new();
+    H.get_or_init(|| metrics::global().histogram("spot_maxpool_round_ns", &[]))
+}
+
 fn server_relu_round<R: Rng>(
     transport: &dyn Transport,
     round: u16,
@@ -419,6 +431,7 @@ fn server_relu_round<R: Rng>(
     rng: &mut R,
 ) -> Result<Vec<u64>, SpotError> {
     let _span = spot_trace::span(Cat::Session, "relu round").arg("round", round as u64);
+    let _timer = relu_round_hist().start_timer();
     let blob = server_expect_round(transport, OP_RELU, round)?;
     let client_share = decode_share(&blob)?;
     if client_share.len() != server_share.len() {
@@ -454,6 +467,7 @@ fn server_maxpool_round<R: Rng>(
     rng: &mut R,
 ) -> Result<Vec<u64>, SpotError> {
     let _span = spot_trace::span(Cat::Session, "maxpool round").arg("round", round as u64);
+    let _timer = maxpool_round_hist().start_timer();
     let blob = server_expect_round(transport, OP_MAXPOOL, round)?;
     if blob.len() < 12 {
         return Err(SpotError::Protocol("maxpool payload too short".into()));

@@ -387,3 +387,110 @@ fn slow_loris_times_out_without_harming_neighbors() {
     let totals = server.stats();
     assert_eq!((totals.served, totals.failed, totals.rejected), (1, 1, 0));
 }
+
+/// Garbage (and worse: silence) on the admin port cannot wedge its
+/// accept loop: after a binary-junk request, a non-GET request, and a
+/// connect-then-hang client, a normal scrape still answers promptly
+/// and `/healthz` reflects admission state.
+#[test]
+fn admin_port_survives_garbage_requests() {
+    use spot_core::admin::AdminServer;
+    use std::io::Read;
+
+    let (ctx, cnn) = test_stack();
+    let server = Arc::new(SpotServer::new(
+        ModelContext::new("tinycnn-admin", ctx, cnn),
+        ServingConfig::default(),
+    ));
+    let admin = AdminServer::bind("127.0.0.1:0", Arc::clone(&server)).expect("bind admin");
+    let addr = admin.addr();
+
+    let fetch = |request: &[u8]| -> String {
+        let mut conn = TcpStream::connect(addr).expect("connect admin");
+        conn.write_all(request).expect("send request");
+        let mut body = String::new();
+        conn.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        conn.read_to_string(&mut body).expect("read response");
+        body
+    };
+
+    // Hostile round 1: pure binary garbage.
+    let garbage = fetch(&[0x00, 0xff, 0x13, 0x37, b'\n']);
+    assert!(garbage.starts_with("HTTP/1.0 400"), "got: {garbage:?}");
+    // Hostile round 2: a method we don't serve.
+    let post = fetch(b"POST /metrics HTTP/1.1\r\n\r\n");
+    assert!(post.starts_with("HTTP/1.0 400"), "got: {post:?}");
+    // Hostile round 3: connect and say nothing; the handler thread
+    // holds it alone while the accept loop moves on.
+    let _loris = TcpStream::connect(addr).expect("connect loris");
+
+    // The endpoint still answers a real scrape immediately.
+    let metrics = fetch(b"GET /metrics HTTP/1.0\r\n\r\n");
+    assert!(metrics.starts_with("HTTP/1.0 200"), "got: {metrics:?}");
+    assert!(
+        metrics.contains("spot_sessions_served"),
+        "missing series in: {metrics:?}"
+    );
+    let health = fetch(b"GET /healthz HTTP/1.0\r\n\r\n");
+    assert!(health.contains("ok"), "got: {health:?}");
+    let sessions = fetch(b"GET /sessions HTTP/1.0\r\n\r\n");
+    assert!(sessions.contains("\"active\": 0"), "got: {sessions:?}");
+    let missing = fetch(b"GET /nope HTTP/1.0\r\n\r\n");
+    assert!(missing.starts_with("HTTP/1.0 404"), "got: {missing:?}");
+
+    admin.shutdown();
+}
+
+/// `/healthz` flips to `overloaded` while sessions sit at the
+/// admission cap and recovers once they drain.
+#[test]
+fn healthz_reflects_admission_saturation() {
+    use spot_core::admin::AdminServer;
+    use std::io::Read;
+
+    let (ctx, cnn) = test_stack();
+    let server = Arc::new(SpotServer::new(
+        ModelContext::new("tinycnn-health", Arc::clone(&ctx), cnn.clone()),
+        ServingConfig {
+            max_sessions: 1,
+            ..ServingConfig::default()
+        },
+    ));
+    let admin = AdminServer::bind("127.0.0.1:0", Arc::clone(&server)).expect("bind admin");
+    let addr = admin.addr();
+
+    let health = || -> String {
+        let mut conn = TcpStream::connect(addr).expect("connect admin");
+        conn.write_all(b"GET /healthz HTTP/1.0\r\n\r\n")
+            .expect("send");
+        conn.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        let mut body = String::new();
+        conn.read_to_string(&mut body).expect("read");
+        body
+    };
+    assert!(health().starts_with("HTTP/1.0 200"), "idle server is ok");
+
+    // Fill the single admission slot with a session that waits for us.
+    let (ct, st) = MemTransport::pair();
+    std::thread::scope(|s| {
+        let session = s.spawn(|| server.serve_connection(&st));
+        // The session counts as active once it blocks in its first
+        // recv; poll until admission reflects it.
+        while server.active_sessions() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let saturated = health();
+        assert!(
+            saturated.starts_with("HTTP/1.0 503") && saturated.contains("overloaded"),
+            "got: {saturated:?}"
+        );
+        // Release the session: close the client side so its recv errors.
+        ct.close_tx();
+        drop(ct);
+        session.join().expect("session thread");
+    });
+    assert!(health().starts_with("HTTP/1.0 200"), "drained server is ok");
+    admin.shutdown();
+}

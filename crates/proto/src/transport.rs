@@ -7,11 +7,11 @@
 use crate::channel::TrafficStats;
 use crate::error::ProtoError;
 use crate::wire::WireMessage;
-use spot_trace::{count, Counter};
+use spot_trace::{count, metrics, Counter};
 use std::collections::VecDeque;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Traffic and stall accounting for one endpoint of a transport.
@@ -25,17 +25,54 @@ pub struct TransportStats {
     pub send_blocked: Duration,
 }
 
+// Live-registry rollups for wire traffic, one set of handles for the
+// whole process (both transports, all sessions). Registered lazily so
+// processes that never send a frame expose no wire series.
+struct WireMetrics {
+    tx_bytes: Arc<metrics::Counter>,
+    tx_frames: Arc<metrics::Counter>,
+    rx_bytes: Arc<metrics::Counter>,
+    rx_frames: Arc<metrics::Counter>,
+    send_blocked_ns: Arc<metrics::Counter>,
+}
+
+fn wire_metrics() -> &'static WireMetrics {
+    static WIRE: OnceLock<WireMetrics> = OnceLock::new();
+    WIRE.get_or_init(|| {
+        let reg = metrics::global();
+        WireMetrics {
+            tx_bytes: reg.counter("spot_wire_tx_bytes", &[]),
+            tx_frames: reg.counter("spot_wire_tx_frames", &[]),
+            rx_bytes: reg.counter("spot_wire_rx_bytes", &[]),
+            rx_frames: reg.counter("spot_wire_rx_frames", &[]),
+            send_blocked_ns: reg.counter("spot_wire_send_blocked_ns", &[]),
+        }
+    })
+}
+
 // Per-frame trace accounting shared by both transports: typed counters
-// (bytes/frames/blocked time per direction) for the process totals.
+// (bytes/frames/blocked time per direction) for the process totals,
+// mirrored into the live registry when it is enabled.
 fn trace_sent(bytes: u64, blocked: Duration) {
     count(Counter::TxBytes, bytes);
     count(Counter::TxFrames, 1);
     count(Counter::TxBlockedNs, blocked.as_nanos() as u64);
+    if metrics::enabled() {
+        let wire = wire_metrics();
+        wire.tx_bytes.inc(bytes);
+        wire.tx_frames.inc(1);
+        wire.send_blocked_ns.inc(blocked.as_nanos() as u64);
+    }
 }
 
 fn trace_received(bytes: u64) {
     count(Counter::RxBytes, bytes);
     count(Counter::RxFrames, 1);
+    if metrics::enabled() {
+        let wire = wire_metrics();
+        wire.rx_bytes.inc(bytes);
+        wire.rx_frames.inc(1);
+    }
 }
 
 /// A bidirectional, ordered message pipe between the two parties.

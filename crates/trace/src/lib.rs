@@ -35,6 +35,8 @@
 
 pub mod chrome;
 pub mod json;
+pub mod log;
+pub mod metrics;
 pub mod summary;
 
 use std::cell::RefCell;
