@@ -126,6 +126,9 @@ fn main() {
 
     println!("spot-client: in-process MemTransport reference run...");
     let (ref_out, ref_stats) = mem_reference(&ctx, &cnn, &inputs, scheme, seed);
+    // Drop the reference run's events so the exported trace covers only
+    // the TCP session — the half the cross-party merge consumes.
+    let trace_baseline = trace_baseline.map(|_| spot_bench::traceio::trace_restart());
 
     println!("spot-client: connecting to {addr} (scheme {scheme:?}, batch {batch})");
     let transport = connect_with_retry(&addr);

@@ -11,7 +11,7 @@
 //!              [--latency-cap-ms MS] [--mode closed|open] [--interval-ms MS]
 //!              [--concurrency C] [--scheme spot|channelwise|cheetah]
 //!              [--seed S] [--max-sessions N] [--sweep 1,8,64] [--json PATH]
-//!              [--scrape ADDR]
+//!              [--scrape ADDR] [--trace out.json]
 //! ```
 //!
 //! Latency percentiles (p50/p99/p99.9) come from the streaming
@@ -54,7 +54,7 @@ use spot_he::params::{EncryptionParams, ParamLevel};
 use spot_proto::transport::{MemTransport, TcpTransport};
 use spot_proto::{error_code, Transport};
 use spot_tensor::tensor::Tensor;
-use spot_trace::{metrics, Counter};
+use spot_trace::{log_warn, metrics, Counter};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -489,7 +489,7 @@ fn scrape_and_crosscheck(addr: &str, r: &ScenarioResult) {
     let body = match http_get(addr, "/metrics") {
         Ok(b) => b,
         Err(e) => {
-            eprintln!("spot-loadgen: scrape {addr} failed: {e}");
+            log_warn!("loadgen", "scrape {addr} failed: {e}");
             return;
         }
     };
@@ -591,6 +591,10 @@ fn main() {
         scrape_addr.is_none() || !mem,
         "--scrape needs --connect (it polls a remote spot-server --admin endpoint)"
     );
+    let trace_path = arg_value(&args, "--trace");
+    let trace_baseline = trace_path
+        .as_ref()
+        .map(|_| spot_bench::traceio::trace_begin());
 
     let ctx = Context::new(EncryptionParams::new(ParamLevel::N4096));
     let cnn = TinyCnn::new(7);
@@ -654,6 +658,10 @@ fn main() {
         );
         std::fs::write(&path, json).expect("write json");
         println!("spot-loadgen: wrote {path}");
+    }
+
+    if let (Some(path), Some(baseline)) = (&trace_path, &trace_baseline) {
+        spot_bench::traceio::trace_finish(std::path::Path::new(path), baseline);
     }
 
     let bad = results

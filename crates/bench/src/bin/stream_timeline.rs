@@ -200,8 +200,7 @@ fn main() {
         let pool_events = spot_trace::take_events();
         all_events.extend(pool_events);
         let json = spot_trace::chrome::chrome_trace_json_with_threads(&all_events, &threads);
-        spot_trace::json::validate(&json).expect("trace export is valid JSON");
-        std::fs::write(path, &json).expect("write trace file");
+        spot_bench::traceio::write_trace_json(std::path::Path::new(path), &json);
         let delta = spot_trace::counters().delta(&trace_baseline);
         println!("trace: {} events, JSON OK -> {path}", all_events.len());
         println!("{}", spot_trace::summary::text_summary(&all_events, &delta));

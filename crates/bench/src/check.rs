@@ -436,7 +436,7 @@ pub fn classify(path: &str) -> Direction {
     {
         return Direction::Neutral;
     }
-    if has(&["speedup", "throughput", "rps", "hits"]) {
+    if has(&["speedup", "throughput", "rps", "hits", "efficiency"]) {
         Direction::HigherIsBetter
     } else if has(&[
         "_us", "_ns", "_ms", "_s/", "wall_s", "latency", "p50", "p90", "p99", "mean", "median",
@@ -634,6 +634,20 @@ mod tests {
             Direction::Neutral
         );
         assert_eq!(classify("scenarios/clients=16/matched"), Direction::Neutral);
+        // Overlap efficiency regresses when it falls; the idle/blocked
+        // nanosecond components regress when they grow.
+        assert_eq!(
+            classify("layers/conv1 spot/spot_overlap_efficiency"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            classify("overall/spot_overlap_efficiency"),
+            Direction::HigherIsBetter
+        );
+        assert_eq!(
+            classify("spot_overlap_server_idle_ns_mean"),
+            Direction::LowerIsBetter
+        );
         // Cumulative histogram internals scale with run length, never a
         // regression by themselves; the derived mean carries the signal.
         assert_eq!(
@@ -687,7 +701,11 @@ mod tests {
 
     #[test]
     fn committed_baselines_parse() {
-        for path in ["../../BENCH_heops.json", "../../BENCH_serving.json"] {
+        for path in [
+            "../../BENCH_heops.json",
+            "../../BENCH_serving.json",
+            "../../BENCH_pipeline.json",
+        ] {
             let Ok(content) = std::fs::read_to_string(path) else {
                 continue; // moved baselines are not this test's concern
             };

@@ -1,31 +1,39 @@
 //! `--trace <path>` support shared by the demo binaries: drain the
 //! process-wide [`spot_trace`] sink into a Chrome-trace JSON file
 //! (loadable in Perfetto / `chrome://tracing`) and print the text
-//! summary of spans and counters.
+//! summary of spans and counters. The same module holds the reader
+//! half (`read_trace`) the `trace_merge` tool uses to load both
+//! parties' exports back.
 
+use spot_trace::correlate::PartyTrace;
 use spot_trace::CounterSnapshot;
 use std::io::Write;
 use std::path::Path;
 
-/// Enables tracing and returns the counter baseline to delta against
-/// at dump time. Call once at startup when `--trace` is given.
+/// Enables tracing — including wire-propagated trace context, so a
+/// traced client stamps its `Setup` frames with trace ids and runs the
+/// clock-sync probe at teardown — and returns the counter baseline to
+/// delta against at dump time. Call once at startup when `--trace` is
+/// given.
 pub fn trace_begin() -> CounterSnapshot {
-    spot_trace::enable();
+    spot_trace::enable_wire_context();
     spot_trace::counters()
 }
 
-/// Drains every recorded event, exports Chrome-trace JSON to `path`
-/// (validated before writing), and prints the span/counter text
-/// summary. Returns the number of events written.
+/// Drops everything traced so far and returns a fresh counter
+/// baseline. Used after a warm-up or reference run so the exported
+/// trace covers only the run under observation.
+pub fn trace_restart() -> CounterSnapshot {
+    let _ = spot_trace::take_events();
+    spot_trace::counters()
+}
+
+/// Validates `json` and writes it to `path`.
 ///
 /// Panics if the export fails JSON validation or the file cannot be
 /// written — a trace the user asked for must not vanish silently.
-pub fn trace_finish(path: &Path, baseline: &CounterSnapshot) -> usize {
-    let events = spot_trace::take_events();
-    let threads = spot_trace::thread_names();
-    let delta = spot_trace::counters().delta(baseline);
-    let json = spot_trace::chrome::chrome_trace_json_with_threads(&events, &threads);
-    if let Err(e) = spot_trace::json::validate(&json) {
+pub fn write_trace_json(path: &Path, json: &str) {
+    if let Err(e) = spot_trace::json::validate(json) {
         panic!("trace export produced invalid JSON: {e}");
     }
     let mut f = std::fs::File::create(path)
@@ -33,6 +41,17 @@ pub fn trace_finish(path: &Path, baseline: &CounterSnapshot) -> usize {
     f.write_all(json.as_bytes())
         .and_then(|()| f.flush())
         .unwrap_or_else(|e| panic!("cannot write trace file {}: {e}", path.display()));
+}
+
+/// Drains every recorded event, exports Chrome-trace JSON to `path`
+/// (validated before writing), and prints the span/counter text
+/// summary. Returns the number of events written.
+pub fn trace_finish(path: &Path, baseline: &CounterSnapshot) -> usize {
+    let events = spot_trace::take_events();
+    let threads = spot_trace::thread_names();
+    let delta = spot_trace::counters().delta(baseline);
+    let json = spot_trace::chrome::chrome_trace_json_with_threads(&events, &threads);
+    write_trace_json(path, &json);
     println!(
         "trace: {} events, JSON OK -> {}",
         events.len(),
@@ -40,4 +59,11 @@ pub fn trace_finish(path: &Path, baseline: &CounterSnapshot) -> usize {
     );
     println!("{}", spot_trace::summary::text_summary(&events, &delta));
     events.len()
+}
+
+/// Reads a Chrome-trace JSON export back into a [`PartyTrace`].
+pub fn read_trace(path: &Path) -> Result<PartyTrace, String> {
+    let json = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read trace file {}: {e}", path.display()))?;
+    spot_trace::correlate::parse_chrome_trace(&json).map_err(|e| format!("{}: {e}", path.display()))
 }

@@ -2,7 +2,7 @@
 //! [`SpotServer`]'s live state — no web framework, no dependencies,
 //! same zero-dep discipline as the rest of the workspace.
 //!
-//! Three routes, all read-only:
+//! Four routes, all read-only:
 //!
 //! * `GET /metrics` — the global [`spot_trace::metrics`] registry in
 //!   Prometheus text exposition format (scrape target).
@@ -11,6 +11,10 @@
 //!   ([`SpotServer::overloaded`]); a load balancer's readiness probe.
 //! * `GET /sessions` — JSON: in-flight session ids with elapsed time,
 //!   plus the monotonic served/rejected/failed totals.
+//! * `GET /pipeline` — JSON: per-session pipeline-overlap summaries for
+//!   the most recent streamed sessions ([`SpotServer::pipeline_recent`]):
+//!   worker busy/idle thread-seconds, producer backpressure, and the
+//!   server-side overlap efficiency.
 //!
 //! ## Robustness model
 //!
@@ -210,6 +214,7 @@ fn respond(path: &str, server: &SpotServer) -> (&'static str, &'static str, Stri
             }
         }
         "/sessions" => ("200 OK", "application/json", sessions_json(server)),
+        "/pipeline" => ("200 OK", "application/json", pipeline_json(server)),
         _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
     }
 }
@@ -230,6 +235,31 @@ fn sessions_json(server: &SpotServer) -> String {
         stats.rejected,
         stats.failed,
     )
+}
+
+fn pipeline_json(server: &SpotServer) -> String {
+    let sessions = server
+        .pipeline_recent()
+        .into_iter()
+        .map(|p| {
+            format!(
+                "{{\"id\": {}, \"wall_ms\": {:.3}, \"input_items\": {}, \"output_items\": {}, \
+                 \"server_threads\": {}, \"server_busy_s\": {:.6}, \"server_idle_s\": {:.6}, \
+                 \"client_blocked_s\": {:.6}, \"spot_overlap_efficiency\": {:.4}}}",
+                p.id,
+                p.wall_ms,
+                p.input_items,
+                p.output_items,
+                p.server_threads,
+                p.server_busy_s,
+                p.server_idle_s,
+                p.client_blocked_s,
+                p.efficiency,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("{{\"pipeline\": [{sessions}]}}\n")
 }
 
 #[cfg(test)]

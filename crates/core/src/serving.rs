@@ -271,6 +271,13 @@ struct ServerMetrics {
     session_wall_ns: Arc<metrics::Histogram>,
     kernel_cache_builds: Arc<metrics::Counter>,
     kernel_cache_hits: Arc<metrics::Counter>,
+    // Pipeline-overlap view of each streamed session, from the server's
+    // own StreamStats: efficiency is worker busy / (busy + idle) in
+    // parts-per-million (registry values are integers), idle/blocked in
+    // thread-nanoseconds.
+    overlap_efficiency_ppm: Arc<metrics::Histogram>,
+    overlap_server_idle_ns: Arc<metrics::Histogram>,
+    overlap_client_blocked_ns: Arc<metrics::Histogram>,
 }
 
 impl ServerMetrics {
@@ -284,6 +291,9 @@ impl ServerMetrics {
             session_wall_ns: reg.histogram("spot_session_wall_ns", &[]),
             kernel_cache_builds: reg.counter("spot_kernel_cache_builds", &[]),
             kernel_cache_hits: reg.counter("spot_kernel_cache_hits", &[]),
+            overlap_efficiency_ppm: reg.histogram("spot_overlap_efficiency_ppm", &[]),
+            overlap_server_idle_ns: reg.histogram("spot_overlap_server_idle_ns", &[]),
+            overlap_client_blocked_ns: reg.histogram("spot_overlap_client_blocked_ns", &[]),
         }
     }
 
@@ -333,6 +343,64 @@ pub struct SessionReport {
     pub wall: Duration,
 }
 
+/// One streamed session's pipeline-overlap summary, kept in a bounded
+/// ring on the server for the admin `/pipeline` view. Derived entirely
+/// from the server's own [`crate::stream::StreamStats`] — no client
+/// trace required — so it is available live, per session, the moment
+/// the session finishes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineSummary {
+    /// Session id (accept order).
+    pub id: u64,
+    /// End-to-end session wall time, milliseconds.
+    pub wall_ms: f64,
+    /// Ciphertexts streamed client → server.
+    pub input_items: usize,
+    /// Results streamed server → client.
+    pub output_items: usize,
+    /// Worker threads the session ran with.
+    pub server_threads: usize,
+    /// Worker thread-seconds computing.
+    pub server_busy_s: f64,
+    /// Worker thread-seconds stalled waiting for ciphertexts — the
+    /// paper's "linear computation stall".
+    pub server_idle_s: f64,
+    /// Producer time blocked on channel backpressure.
+    pub client_blocked_s: f64,
+    /// Server-side overlap efficiency: busy / (busy + idle), in [0, 1].
+    pub efficiency: f64,
+}
+
+impl PipelineSummary {
+    fn from_report(id: u64, wall: Duration, report: &ServerReport) -> Option<Self> {
+        let s = &report.stream;
+        if s.input_items == 0 {
+            return None; // phased session: no streaming pipeline to attribute
+        }
+        let busy = s.server_busy_s;
+        let idle = s.server_idle_s;
+        let efficiency = if busy + idle > 0.0 {
+            (busy / (busy + idle)).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        Some(Self {
+            id,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            input_items: s.input_items,
+            output_items: s.output_items,
+            server_threads: s.server_threads,
+            server_busy_s: busy,
+            server_idle_s: idle,
+            client_blocked_s: s.client_blocked_s,
+            efficiency,
+        })
+    }
+}
+
+/// Ring capacity for [`SpotServer::pipeline_recent`].
+const PIPELINE_RING: usize = 32;
+
 /// A concurrent inference server for one [`ModelContext`].
 ///
 /// [`SpotServer::serve_connection`] is designed to be called from one
@@ -350,6 +418,9 @@ pub struct SpotServer {
     // Admitted, still-running sessions: id -> admission instant. Feeds
     // the admin endpoint's `/sessions` view.
     in_flight: Mutex<BTreeMap<u64, Instant>>,
+    // Last PIPELINE_RING streamed sessions' overlap summaries, newest
+    // last. Feeds the admin endpoint's `/pipeline` view.
+    pipeline: Mutex<std::collections::VecDeque<PipelineSummary>>,
 }
 
 impl SpotServer {
@@ -364,6 +435,7 @@ impl SpotServer {
             stats: StatsCells::default(),
             metrics: ServerMetrics::new(),
             in_flight: Mutex::new(BTreeMap::new()),
+            pipeline: Mutex::new(std::collections::VecDeque::new()),
         }
     }
 
@@ -404,6 +476,14 @@ impl SpotServer {
             .iter()
             .map(|(&id, t0)| (id, t0.elapsed()))
             .collect()
+    }
+
+    /// The overlap summaries of the most recent streamed sessions
+    /// (oldest first, at most 32) — the admin `/pipeline` view. Phased
+    /// sessions stream nothing and are not recorded.
+    pub fn pipeline_recent(&self) -> Vec<PipelineSummary> {
+        let ring = self.pipeline.lock().unwrap_or_else(|p| p.into_inner());
+        ring.iter().copied().collect()
     }
 
     /// Monotonic serving totals so far.
@@ -528,6 +608,24 @@ impl SpotServer {
         self.metrics.absorb_session(&counters);
         let wall = t0.elapsed();
         self.metrics.session_wall_ns.observe(wall.as_nanos() as u64);
+        if let Ok(report) = &result {
+            if let Some(summary) = PipelineSummary::from_report(id, wall, report) {
+                self.metrics
+                    .overlap_efficiency_ppm
+                    .observe((summary.efficiency * 1e6) as u64);
+                self.metrics
+                    .overlap_server_idle_ns
+                    .observe((summary.server_idle_s * 1e9) as u64);
+                self.metrics
+                    .overlap_client_blocked_ns
+                    .observe((summary.client_blocked_s * 1e9) as u64);
+                let mut ring = self.pipeline.lock().unwrap_or_else(|p| p.into_inner());
+                if ring.len() == PIPELINE_RING {
+                    ring.pop_front();
+                }
+                ring.push_back(summary);
+            }
+        }
         SessionReport {
             id,
             seed,
@@ -727,6 +825,31 @@ mod tests {
         slot.complete(Ok(Tensor::from_vec(1, 1, 1, vec![7])));
         let got = t.join().unwrap().unwrap();
         assert_eq!(got.data(), &[7]);
+    }
+
+    #[test]
+    fn pipeline_summary_attributes_stall() {
+        let mut report = ServerReport {
+            counts: Default::default(),
+            stream: crate::stream::StreamStats::default(),
+            input_cts: 4,
+            output_cts: 4,
+            batch: 1,
+        };
+        // Phased run: nothing streamed, nothing to attribute.
+        assert!(PipelineSummary::from_report(0, Duration::from_millis(5), &report).is_none());
+        report.stream.input_items = 4;
+        report.stream.output_items = 4;
+        report.stream.server_threads = 2;
+        report.stream.server_busy_s = 3.0;
+        report.stream.server_idle_s = 1.0;
+        report.stream.client_blocked_s = 0.25;
+        let s = PipelineSummary::from_report(7, Duration::from_millis(5), &report).unwrap();
+        assert_eq!(s.id, 7);
+        assert_eq!(s.input_items, 4);
+        assert!((s.efficiency - 0.75).abs() < 1e-12);
+        assert!((s.client_blocked_s - 0.25).abs() < 1e-12);
+        assert!((s.wall_ms - 5.0).abs() < 0.5);
     }
 
     #[test]

@@ -175,6 +175,10 @@ impl LayerSpec {
             stride: self.shape.stride as u32,
             patch_h: if spot { self.patch.0 as u32 } else { 0 },
             patch_w: if spot { self.patch.1 as u32 } else { 0 },
+            // 0 keeps the hello byte-identical to the pre-trace layout;
+            // senders overwrite it with a wire trace id when wire trace
+            // context is enabled.
+            trace: 0,
         }
     }
 
@@ -490,6 +494,7 @@ fn msg_name(msg: &WireMessage) -> &'static str {
         WireMessage::LayerBarrier { .. } => "LayerBarrier",
         WireMessage::Teardown => "Teardown",
         WireMessage::Error { .. } => "Error",
+        WireMessage::ClockProbe { .. } => "ClockProbe",
     }
 }
 
@@ -742,10 +747,18 @@ impl<'a> ClientConv<'a> {
         pacing: UploadPacing,
         rng: &mut R,
     ) -> Result<ClientSendSummary, SpotError> {
-        let _span = spot_trace::span_owned(Cat::Session, || {
+        // When wire trace context is on, the hello carries a trace id
+        // that the server echoes into its serve span — the merge tool
+        // pairs the two layer spans by this value.
+        let trace_id = spot_trace::next_wire_trace_id();
+        let mut span = spot_trace::span_owned(Cat::Session, || {
             format!("send_all {}", self.spec.scheme.name())
         })
         .arg("input_cts", self.input_cts() as u64);
+        if trace_id != 0 {
+            span = span.arg("trace", trace_id);
+        }
+        let _span = span;
         let shape = &self.spec.shape;
         if input.channels() != shape.c_in
             || input.height() != shape.height
@@ -761,9 +774,9 @@ impl<'a> ClientConv<'a> {
                 shape.width
             )));
         }
-        transport.send(&WireMessage::Setup(
-            self.spec.to_setup(self.ctx.params().level()),
-        ))?;
+        let mut setup = self.spec.to_setup(self.ctx.params().level());
+        setup.trace = trace_id;
+        transport.send(&WireMessage::Setup(setup))?;
         let encryptor = Encryptor::new(&self.ctx, self.keygen.public_key(rng));
         if !self.elements.is_empty() {
             let gk = self.keygen.galois_keys(&self.elements, rng);
@@ -880,10 +893,15 @@ impl<'a> ClientConv<'a> {
                 "batch of {batch} images exceeds layer capacity {cap}"
             )));
         }
-        let _span = spot_trace::span_owned(Cat::Session, || {
+        let trace_id = spot_trace::next_wire_trace_id();
+        let mut span = spot_trace::span_owned(Cat::Session, || {
             format!("send_all_batched {}", self.spec.scheme.name())
         })
         .arg("batch", batch as u64);
+        if trace_id != 0 {
+            span = span.arg("trace", trace_id);
+        }
+        let _span = span;
         let shape = &self.spec.shape;
         for input in inputs {
             if input.channels() != shape.c_in
@@ -903,6 +921,7 @@ impl<'a> ClientConv<'a> {
         }
         let mut setup = self.spec.to_setup(self.ctx.params().level());
         setup.batch = batch as u8;
+        setup.trace = trace_id;
         transport.send(&WireMessage::Setup(setup))?;
         let encryptor = Encryptor::new(&self.ctx, self.keygen.public_key(rng));
         if !self.elements.is_empty() {
@@ -1397,9 +1416,15 @@ pub fn serve_conv_with<R: Rng>(
         return Err(unexpected(&msg, "Setup"));
     };
     let (spec, level) = LayerSpec::from_setup(&setup)?;
-    let _span = spot_trace::span_owned(Cat::Session, || {
+    let mut span = spot_trace::span_owned(Cat::Session, || {
         format!("serve_conv {}", spec.scheme.name())
     });
+    if setup.trace != 0 {
+        // Echo the client's wire trace id into this span so the merge
+        // tool can pair the server layer with the client layer exactly.
+        span = span.arg("trace", setup.trace);
+    }
+    let _span = span;
     if level != ctx.params().level() {
         return Err(SpotError::Protocol(format!(
             "client level {level} does not match server context {}",

@@ -36,7 +36,7 @@ use spot_proto::transport::Transport;
 use spot_proto::wire::WireMessage;
 use spot_tensor::models::ConvShape;
 use spot_tensor::tensor::Tensor;
-use spot_trace::{metrics, Cat};
+use spot_trace::{clocksync, metrics, Cat};
 use std::sync::{Arc, OnceLock};
 
 /// `OtRound` op code for ReLU on shares.
@@ -348,6 +348,33 @@ fn run_client_batch_inner<R: Rng + Send>(
         outputs.push(Tensor::from_vec(c2, h2, w2, out_vals));
     }
 
+    // Clock-alignment handshake, only when wire trace context is on
+    // (it adds frames, so the plain byte stream stays untouched) and
+    // best-effort: any failure just leaves the trace without an
+    // estimate. Runs right before Teardown, when both pipes are idle.
+    if spot_trace::wire_context_enabled() {
+        let est = clocksync::run_probe(clocksync::PROBE_ROUNDS, |seq| {
+            transport
+                .send(&WireMessage::ClockProbe {
+                    seq,
+                    t_rx_ns: 0,
+                    t_tx_ns: 0,
+                })
+                .ok()?;
+            match transport.recv() {
+                Ok(WireMessage::ClockProbe {
+                    seq: echoed,
+                    t_rx_ns,
+                    t_tx_ns,
+                }) if echoed == seq => Some((t_rx_ns, t_tx_ns)),
+                _ => None,
+            }
+        });
+        if let Some(est) = est {
+            clocksync::record(&est);
+        }
+    }
+
     transport.send(&WireMessage::Teardown)?;
     transport.close_tx();
     Ok(outputs)
@@ -606,10 +633,23 @@ pub fn run_server_with<R: Rng>(
         spot_trace::instant(Cat::Session, "share reveal");
     }
 
-    // Orderly teardown.
-    let msg = transport.recv()?;
-    if !matches!(msg, WireMessage::Teardown) {
-        return Err(SpotError::Protocol("expected Teardown".into()));
+    // Orderly teardown; a tracing client interleaves clock-alignment
+    // probes first, which we echo back stamped on this process's trace
+    // clock (receive time first, transmit time as late as possible).
+    loop {
+        let msg = transport.recv()?;
+        match msg {
+            WireMessage::Teardown => break,
+            WireMessage::ClockProbe { seq, .. } => {
+                let t_rx_ns = spot_trace::trace_now_ns();
+                transport.send(&WireMessage::ClockProbe {
+                    seq,
+                    t_rx_ns,
+                    t_tx_ns: spot_trace::trace_now_ns(),
+                })?;
+            }
+            _ => return Err(SpotError::Protocol("expected Teardown".into())),
+        }
     }
     transport.close_tx();
     Ok(report)

@@ -436,6 +436,8 @@ fn admin_port_survives_garbage_requests() {
     assert!(health.contains("ok"), "got: {health:?}");
     let sessions = fetch(b"GET /sessions HTTP/1.0\r\n\r\n");
     assert!(sessions.contains("\"active\": 0"), "got: {sessions:?}");
+    let pipeline = fetch(b"GET /pipeline HTTP/1.0\r\n\r\n");
+    assert!(pipeline.contains("\"pipeline\": []"), "got: {pipeline:?}");
     let missing = fetch(b"GET /nope HTTP/1.0\r\n\r\n");
     assert!(missing.starts_with("HTTP/1.0 404"), "got: {missing:?}");
 

@@ -214,7 +214,12 @@ impl Transport for MemTransport {
     fn send(&self, msg: &WireMessage) -> Result<(), ProtoError> {
         let frame = msg.encode_frame();
         let bytes = frame.len() as u64;
-        let span = spot_trace::span(spot_trace::Cat::Net, "send").arg("bytes", bytes);
+        let mut span = spot_trace::span(spot_trace::Cat::Net, "send").arg("bytes", bytes);
+        if span.id() != 0 {
+            if let Some(tag) = msg.causal_tag() {
+                span = span.arg("flow", tag);
+            }
+        }
         let blocked = self.tx.push(frame)?;
         drop(span);
         trace_sent(bytes, blocked);
@@ -226,13 +231,19 @@ impl Transport for MemTransport {
     }
 
     fn recv(&self) -> Result<WireMessage, ProtoError> {
-        let span = spot_trace::span(spot_trace::Cat::Net, "recv");
+        let mut span = spot_trace::span(spot_trace::Cat::Net, "recv");
         let frame = self.rx.pop()?;
-        drop(span);
         let (msg, used) = WireMessage::decode_frame(&frame)?;
         if used != frame.len() {
             return Err(ProtoError::Malformed("trailing bytes in frame".into()));
         }
+        if span.id() != 0 {
+            span = span.arg("bytes", frame.len() as u64);
+            if let Some(tag) = msg.causal_tag() {
+                span = span.arg("flow", tag);
+            }
+        }
+        drop(span);
         trace_received(frame.len() as u64);
         let mut st = self.stats.lock().map_err(|_| ProtoError::Poisoned)?;
         st.received.bytes += frame.len() as u64;
@@ -300,7 +311,13 @@ impl TcpTransport {
 impl Transport for TcpTransport {
     fn send(&self, msg: &WireMessage) -> Result<(), ProtoError> {
         let frame = msg.encode_frame();
-        let span = spot_trace::span(spot_trace::Cat::Net, "send").arg("bytes", frame.len() as u64);
+        let mut span =
+            spot_trace::span(spot_trace::Cat::Net, "send").arg("bytes", frame.len() as u64);
+        if span.id() != 0 {
+            if let Some(tag) = msg.causal_tag() {
+                span = span.arg("flow", tag);
+            }
+        }
         let t0 = Instant::now();
         {
             let mut w = self.writer.lock().map_err(|_| ProtoError::Poisoned)?;
@@ -318,11 +335,17 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&self) -> Result<WireMessage, ProtoError> {
-        let span = spot_trace::span(spot_trace::Cat::Net, "recv");
+        let mut span = spot_trace::span(spot_trace::Cat::Net, "recv");
         let msg = {
             let mut r = self.reader.lock().map_err(|_| ProtoError::Poisoned)?;
             WireMessage::read_from(&mut *r)?
         };
+        if span.id() != 0 {
+            span = span.arg("bytes", msg.frame_len() as u64);
+            if let Some(tag) = msg.causal_tag() {
+                span = span.arg("flow", tag);
+            }
+        }
         drop(span);
         trace_received(msg.frame_len() as u64);
         let mut st = self.stats.lock().map_err(|_| ProtoError::Poisoned)?;
@@ -434,6 +457,7 @@ mod tests {
                 stride: 1,
                 patch_h: 0,
                 patch_w: 0,
+                trace: 0,
             }),
             sample(0),
             sample(1),

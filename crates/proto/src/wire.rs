@@ -60,13 +60,25 @@ pub struct ConvSetup {
     pub patch_h: u32,
     /// Patch width (SPOT; 0 when unused).
     pub patch_w: u32,
+    /// Wire trace id for cross-party trace correlation (0 = none). Like
+    /// `batch`, this rides space the base layout never used: a zero
+    /// trace id encodes to the original 40-byte payload, a nonzero one
+    /// appends 8 bytes, and decoders accept both — so the frame stream
+    /// is byte-identical to the legacy format whenever tracing is off.
+    pub trace: u64,
 }
 
 impl ConvSetup {
-    const BYTES: usize = 4 + 9 * 4;
+    const BASE_BYTES: usize = 4 + 9 * 4;
+    const TRACED_BYTES: usize = Self::BASE_BYTES + 8;
 
     fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(Self::BYTES);
+        let cap = if self.trace == 0 {
+            Self::BASE_BYTES
+        } else {
+            Self::TRACED_BYTES
+        };
+        let mut out = Vec::with_capacity(cap);
         out.push(self.scheme);
         out.push(self.mode);
         out.push(self.level);
@@ -84,17 +96,25 @@ impl ConvSetup {
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
+        if self.trace != 0 {
+            out.extend_from_slice(&self.trace.to_le_bytes());
+        }
         out
     }
 
     fn decode(payload: &[u8]) -> Result<Self, ProtoError> {
-        if payload.len() != Self::BYTES {
+        if payload.len() != Self::BASE_BYTES && payload.len() != Self::TRACED_BYTES {
             return Err(ProtoError::Truncated);
         }
         let mut words = [0u32; 9];
         for (i, w) in words.iter_mut().enumerate() {
             *w = read_u32(payload, 4 + 4 * i)?;
         }
+        let trace = if payload.len() == Self::TRACED_BYTES {
+            read_u64(payload, Self::BASE_BYTES)?
+        } else {
+            0
+        };
         Ok(Self {
             scheme: payload[0],
             mode: payload[1],
@@ -109,6 +129,7 @@ impl ConvSetup {
             stride: words[6],
             patch_h: words[7],
             patch_w: words[8],
+            trace,
         })
     }
 }
@@ -171,6 +192,19 @@ pub enum WireMessage {
     },
     /// Clean end of session.
     Teardown,
+    /// Clock-alignment ping (either direction). The client sends a
+    /// probe with both stamps zero; the server echoes it back with its
+    /// receive and transmit times on its own trace clock, letting the
+    /// client compute the NTP-style midpoint offset. Only exchanged
+    /// when tracing is on; never part of the cryptographic protocol.
+    ClockProbe {
+        /// Probe sequence number within the exchange.
+        seq: u32,
+        /// Echoer's receive time, nanoseconds on its trace clock.
+        t_rx_ns: u64,
+        /// Echoer's transmit time, nanoseconds on its trace clock.
+        t_tx_ns: u64,
+    },
     /// Typed server-side rejection (server → client): the session is
     /// over after this frame. Carries one of the [`error_code`]
     /// constants plus a human-readable detail string.
@@ -208,7 +242,27 @@ impl WireMessage {
             WireMessage::LayerBarrier { .. } => 8,
             WireMessage::Teardown => 9,
             WireMessage::Error { .. } => 10,
+            WireMessage::ClockProbe { .. } => 11,
         }
+    }
+
+    /// Compact causal tag for trace flow arrows: identifies *which*
+    /// frame this is (message kind, class/op discriminant, sequence
+    /// number) from fields already on the wire, so send and receive
+    /// spans on opposite parties can be paired without any extra bytes.
+    /// `None` for messages with no per-item identity (keys, reveals,
+    /// teardown, errors).
+    pub fn causal_tag(&self) -> Option<u64> {
+        let (kind, mid, seq) = match self {
+            WireMessage::PackedCt { seq, .. } => (1u64, 0u64, *seq as u64),
+            WireMessage::AuxCt { class, seq, .. } => (2, *class as u64, *seq as u64),
+            WireMessage::MaskedResult { seq, .. } => (3, 0, *seq as u64),
+            WireMessage::OtRound { op, round, .. } => (4, *op as u64, *round as u64),
+            WireMessage::LayerBarrier { layer } => (5, 0, *layer as u64),
+            WireMessage::ClockProbe { seq, .. } => (6, 0, *seq as u64),
+            _ => return None,
+        };
+        Some((kind << 56) | (mid << 40) | seq)
     }
 
     fn payload(&self) -> Vec<u8> {
@@ -248,6 +302,17 @@ impl WireMessage {
                 let mut p = Vec::with_capacity(2 + detail.len());
                 p.extend_from_slice(&code.to_le_bytes());
                 p.extend_from_slice(detail.as_bytes());
+                p
+            }
+            WireMessage::ClockProbe {
+                seq,
+                t_rx_ns,
+                t_tx_ns,
+            } => {
+                let mut p = Vec::with_capacity(20);
+                p.extend_from_slice(&seq.to_le_bytes());
+                p.extend_from_slice(&t_rx_ns.to_le_bytes());
+                p.extend_from_slice(&t_tx_ns.to_le_bytes());
                 p
             }
         }
@@ -292,6 +357,16 @@ impl WireMessage {
                 code: read_u16(payload, 0)?,
                 detail: String::from_utf8_lossy(&tail(payload, 2)?).into_owned(),
             },
+            11 => {
+                if payload.len() != 20 {
+                    return Err(ProtoError::Truncated);
+                }
+                WireMessage::ClockProbe {
+                    seq: read_u32(payload, 0)?,
+                    t_rx_ns: read_u64(payload, 4)?,
+                    t_tx_ns: read_u64(payload, 12)?,
+                }
+            }
             t => return Err(ProtoError::BadTag(t)),
         })
     }
@@ -408,6 +483,13 @@ fn read_u16(bytes: &[u8], off: usize) -> Result<u16, ProtoError> {
     Ok(u16::from_le_bytes([s[0], s[1]]))
 }
 
+fn read_u64(bytes: &[u8], off: usize) -> Result<u64, ProtoError> {
+    let s = bytes.get(off..off + 8).ok_or(ProtoError::Truncated)?;
+    Ok(u64::from_le_bytes([
+        s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7],
+    ]))
+}
+
 fn tail(bytes: &[u8], off: usize) -> Result<Vec<u8>, ProtoError> {
     Ok(bytes.get(off..).ok_or(ProtoError::Truncated)?.to_vec())
 }
@@ -432,6 +514,7 @@ mod tests {
                 stride: 1,
                 patch_h: 4,
                 patch_w: 4,
+                trace: 0xDEAD_BEEF_0000_0001,
             }),
             WireMessage::PublicKey(vec![1, 2, 3]),
             WireMessage::GaloisKeys(vec![9; 100]),
@@ -458,6 +541,11 @@ mod tests {
             },
             WireMessage::LayerBarrier { layer: 2 },
             WireMessage::Teardown,
+            WireMessage::ClockProbe {
+                seq: 3,
+                t_rx_ns: 1_234_567_890_123,
+                t_tx_ns: 1_234_567_890_456,
+            },
             WireMessage::Error {
                 code: error_code::SERVER_FULL,
                 detail: "at capacity (16 sessions)".into(),
@@ -539,6 +627,66 @@ mod tests {
             WireMessage::read_from(&mut partial),
             Err(ProtoError::Truncated)
         );
+    }
+
+    #[test]
+    fn setup_trace_zero_keeps_legacy_layout() {
+        let mut setup = match &samples()[0] {
+            WireMessage::Setup(s) => *s,
+            _ => unreachable!(),
+        };
+        setup.trace = 0;
+        let frame = WireMessage::Setup(setup).encode_frame();
+        // Payload is exactly the pre-trace 40-byte layout...
+        assert_eq!(frame.len(), FRAME_HEADER_BYTES + ConvSetup::BASE_BYTES);
+        // ...and decodes with trace = 0.
+        let (back, _) = WireMessage::decode_frame(&frame).unwrap();
+        assert_eq!(back, WireMessage::Setup(setup));
+        // A nonzero trace id appends exactly 8 bytes; the 40-byte
+        // payload prefix is unchanged (only the header length differs).
+        setup.trace = 1;
+        let traced = WireMessage::Setup(setup).encode_frame();
+        assert_eq!(traced.len(), frame.len() + 8);
+        assert_eq!(
+            traced[FRAME_HEADER_BYTES..FRAME_HEADER_BYTES + ConvSetup::BASE_BYTES],
+            frame[FRAME_HEADER_BYTES..]
+        );
+        // Payloads of any other length are rejected.
+        let mut bad = traced.clone();
+        bad.truncate(bad.len() - 4);
+        bad[2..6].copy_from_slice(&((ConvSetup::TRACED_BYTES - 4) as u32).to_le_bytes());
+        assert!(WireMessage::decode_frame(&bad).is_err());
+    }
+
+    #[test]
+    fn causal_tags_are_distinct_and_stable() {
+        let tags: Vec<Option<u64>> = samples().iter().map(|m| m.causal_tag()).collect();
+        let mut seen = std::collections::HashSet::new();
+        for (msg, tag) in samples().iter().zip(&tags) {
+            match msg {
+                WireMessage::PackedCt { .. }
+                | WireMessage::AuxCt { .. }
+                | WireMessage::MaskedResult { .. }
+                | WireMessage::OtRound { .. }
+                | WireMessage::LayerBarrier { .. }
+                | WireMessage::ClockProbe { .. } => {
+                    let t = tag.expect("tagged kind");
+                    assert!(seen.insert(t), "duplicate tag {t:#x} for {msg:?}");
+                }
+                _ => assert_eq!(*tag, None, "untagged kind {msg:?}"),
+            }
+        }
+        // Same kind, different seq ⇒ different tag; same fields ⇒ same.
+        let a = WireMessage::PackedCt {
+            seq: 1,
+            blob: vec![],
+        };
+        let b = WireMessage::PackedCt {
+            seq: 2,
+            blob: vec![],
+        };
+        assert_ne!(a.causal_tag(), b.causal_tag());
+        assert_eq!(a.causal_tag(), a.causal_tag());
     }
 
     #[test]

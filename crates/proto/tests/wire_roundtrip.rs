@@ -15,12 +15,14 @@ fn setup_strategy() -> impl Strategy<Value = ConvSetup> {
         (0u8..3, 0u8..2, 0u8..4, 0u8..32),
         (1u32..64, 1u32..64, 1u32..32, 1u32..32),
         (1u32..8, 1u32..8, 1u32..3, 0u32..16, 0u32..16),
+        0u64..=u64::MAX,
     )
         .prop_map(
             |(
                 (scheme, mode, level, batch),
                 (h, w, c_in, c_out),
                 (k_h, k_w, stride, patch_h, patch_w),
+                trace,
             )| {
                 ConvSetup {
                     scheme,
@@ -36,6 +38,7 @@ fn setup_strategy() -> impl Strategy<Value = ConvSetup> {
                     stride,
                     patch_h,
                     patch_w,
+                    trace,
                 }
             },
         )
@@ -61,6 +64,13 @@ fn message_strategy() -> impl Strategy<Value = WireMessage> {
         blob().prop_map(|blob| WireMessage::ShareReveal { blob }),
         (0u32..1000).prop_map(|layer| WireMessage::LayerBarrier { layer }),
         Just(WireMessage::Teardown),
+        (0u32..=u32::MAX, 0u64..=u64::MAX, 0u64..=u64::MAX).prop_map(|(seq, t_rx_ns, t_tx_ns)| {
+            WireMessage::ClockProbe {
+                seq,
+                t_rx_ns,
+                t_tx_ns,
+            }
+        }),
     ]
 }
 

@@ -15,7 +15,7 @@ use crate::{Event, Phase};
 use std::fmt::Write as _;
 
 /// Escapes a string for a JSON string literal (quotes not included).
-fn escape_into(out: &mut String, s: &str) {
+pub(crate) fn escape_into(out: &mut String, s: &str) {
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),
@@ -31,7 +31,7 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
-fn push_us(out: &mut String, ns: u64) {
+pub(crate) fn push_us(out: &mut String, ns: u64) {
     // Microseconds with nanosecond precision, printed without float
     // rounding surprises: <int part>.<3 digits>.
     let _ = write!(out, "{}.{:03}", ns / 1_000, ns % 1_000);
@@ -112,6 +112,9 @@ pub fn chrome_trace_json_with_threads(events: &[Event], threads: &[(u32, String)
         if let Some((key, v)) = ev.arg {
             arg_u64(&mut out, key, v);
         }
+        if let Some((key, v)) = ev.arg2 {
+            arg_u64(&mut out, key, v);
+        }
         out.push_str("}}");
     }
     out.push_str("\n]\n");
@@ -132,6 +135,7 @@ mod tests {
             id,
             parent,
             arg: None,
+            arg2: None,
             phase: Phase::Span { dur_ns: dur },
         }
     }
@@ -149,6 +153,7 @@ mod tests {
                 id: 0,
                 parent: 0,
                 arg: None,
+                arg2: None,
                 phase: Phase::Gauge { value: 3 },
             },
             Event {
@@ -159,6 +164,7 @@ mod tests {
                 id: 0,
                 parent: 1,
                 arg: Some(("bytes", 42)),
+                arg2: Some(("flow", 7)),
                 phase: Phase::Instant,
             },
         ];
@@ -172,6 +178,7 @@ mod tests {
         assert!(json.contains("\"ts\":1.000"));
         assert!(json.contains("\"dur\":10.000"));
         assert!(json.contains("\"bytes\":42"));
+        assert!(json.contains("\"flow\":7"));
         assert!(json.contains("inner \\\"quoted\\\"\\n"));
     }
 

@@ -1,0 +1,275 @@
+//! NTP-style clock alignment between two trace clocks.
+//!
+//! The client and server record events on unrelated monotonic clocks
+//! (each process's [`crate::trace_now_ns`] origin is its own first
+//! call). To merge the two traces onto one timeline, the client runs a
+//! short ping exchange at teardown: it sends a probe stamped with its
+//! transmit time `t0`, the server echoes it back stamped with its
+//! receive time `t1` and transmit time `t2`, and the client stamps the
+//! reply's arrival `t3`. The classic midpoint estimate
+//!
+//! ```text
+//! offset = ((t1 - t0) + (t2 - t3)) / 2        (server − client)
+//! rtt    = (t3 - t0) - (t2 - t1)
+//! ```
+//!
+//! is exact when the forward and return network delays are equal; an
+//! asymmetry of `a` nanoseconds biases the estimate by `a/2`, so the
+//! error is bounded by `rtt/2` regardless of how the delay splits.
+//! Repeating the exchange [`PROBE_ROUNDS`] times and keeping the
+//! minimum-RTT sample minimizes that bound — the sample that crossed
+//! the wire fastest had the least room for asymmetric queueing.
+
+use crate::{gauge, Cat};
+
+/// Number of ping rounds a probing client runs. Loopback RTTs are tens
+/// of microseconds; eight rounds cost well under a millisecond and give
+/// the minimum-RTT filter enough samples to dodge scheduler noise.
+pub const PROBE_ROUNDS: u32 = 8;
+
+/// One completed ping exchange, all stamps in nanoseconds: `t0`/`t3`
+/// on the client clock, `t1`/`t2` on the server clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PingSample {
+    /// Client transmit time of the probe.
+    pub t0: u64,
+    /// Server receive time of the probe.
+    pub t1: u64,
+    /// Server transmit time of the echo.
+    pub t2: u64,
+    /// Client receive time of the echo.
+    pub t3: u64,
+}
+
+impl PingSample {
+    /// Midpoint offset estimate (server clock − client clock), signed.
+    pub fn offset_ns(&self) -> i64 {
+        // i128 intermediates: the two clocks share no origin, so the
+        // raw differences can individually overflow i64.
+        let fwd = self.t1 as i128 - self.t0 as i128;
+        let back = self.t2 as i128 - self.t3 as i128;
+        ((fwd + back) / 2) as i64
+    }
+
+    /// Round-trip time excluding the server's turnaround.
+    pub fn rtt_ns(&self) -> u64 {
+        let total = self.t3 as i128 - self.t0 as i128;
+        let turnaround = self.t2 as i128 - self.t1 as i128;
+        (total - turnaround).max(0) as u64
+    }
+}
+
+/// The selected clock alignment: offset from the minimum-RTT sample,
+/// with its RTT-bounded error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClockEstimate {
+    /// Server clock − client clock, nanoseconds.
+    pub offset_ns: i64,
+    /// RTT of the winning sample.
+    pub rtt_ns: u64,
+    /// Error bound on `offset_ns`: half the winning RTT.
+    pub err_ns: u64,
+    /// Number of samples the estimate was selected from.
+    pub samples: u32,
+}
+
+impl ClockEstimate {
+    /// Maps a server-clock timestamp onto the client clock.
+    pub fn server_to_client_ns(&self, server_ns: u64) -> u64 {
+        let v = server_ns as i128 - self.offset_ns as i128;
+        v.clamp(0, u64::MAX as i128) as u64
+    }
+}
+
+/// Picks the minimum-RTT sample from `samples` and returns its midpoint
+/// offset with the `rtt/2` error bound. `None` when no samples arrived
+/// (probing is best-effort; a merge without an estimate falls back to
+/// uncorrected clocks).
+pub fn estimate(samples: &[PingSample]) -> Option<ClockEstimate> {
+    let best = samples.iter().min_by_key(|s| s.rtt_ns())?;
+    let rtt = best.rtt_ns();
+    Some(ClockEstimate {
+        offset_ns: best.offset_ns(),
+        rtt_ns: rtt,
+        err_ns: rtt / 2,
+        samples: samples.len() as u32,
+    })
+}
+
+/// Runs `rounds` ping exchanges through `exchange` — a closure that
+/// sends a probe and returns the server's `(t1, t2)` stamps — stamping
+/// `t0`/`t3` on the local trace clock, then selects the best sample.
+/// A failed exchange aborts probing and returns whatever was gathered
+/// so far (possibly `None`): clock sync must never fail a session.
+pub fn run_probe<E>(rounds: u32, mut exchange: E) -> Option<ClockEstimate>
+where
+    E: FnMut(u32) -> Option<(u64, u64)>,
+{
+    let mut samples = Vec::with_capacity(rounds as usize);
+    for seq in 0..rounds {
+        let t0 = crate::trace_now_ns();
+        let Some((t1, t2)) = exchange(seq) else { break };
+        let t3 = crate::trace_now_ns();
+        samples.push(PingSample { t0, t1, t2, t3 });
+    }
+    estimate(&samples)
+}
+
+/// Records an estimate into the local trace as gauges, sign-split so
+/// the u64 gauge slots never hold two's-complement values:
+/// `clock_offset_fwd_ns` when the server clock is ahead,
+/// `clock_offset_back_ns` when behind, plus `clock_rtt_ns` and
+/// `clock_err_ns`. The merge tool reads these back from the client
+/// export.
+pub fn record(est: &ClockEstimate) {
+    if est.offset_ns >= 0 {
+        gauge(Cat::Net, "clock_offset_fwd_ns", est.offset_ns as u64);
+    } else {
+        gauge(
+            Cat::Net,
+            "clock_offset_back_ns",
+            est.offset_ns.unsigned_abs(),
+        );
+    }
+    gauge(Cat::Net, "clock_rtt_ns", est.rtt_ns);
+    gauge(Cat::Net, "clock_err_ns", est.err_ns);
+}
+
+/// Reconstructs a [`ClockEstimate`] from the gauges written by
+/// [`record`], as found in an exported trace.
+pub fn from_gauges(
+    offset_fwd: Option<u64>,
+    offset_back: Option<u64>,
+    rtt_ns: Option<u64>,
+    err_ns: Option<u64>,
+) -> Option<ClockEstimate> {
+    let offset_ns = match (offset_fwd, offset_back) {
+        (Some(f), _) => f as i64,
+        (None, Some(b)) => -(b as i64),
+        (None, None) => return None,
+    };
+    Some(ClockEstimate {
+        offset_ns,
+        rtt_ns: rtt_ns.unwrap_or(0),
+        err_ns: err_ns.unwrap_or(0),
+        samples: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Simulates one exchange between a client clock and a server clock
+    /// offset by `offset` ns, with one-way delays `fwd`/`back`.
+    fn sample(t0: u64, offset: i64, fwd: u64, back: u64, turnaround: u64) -> PingSample {
+        let client_to_server = |c: u64| (c as i128 + offset as i128) as u64;
+        let t1 = client_to_server(t0 + fwd);
+        let t2 = t1 + turnaround;
+        let t3 = t0 + fwd + turnaround + back;
+        PingSample { t0, t1, t2, t3 }
+    }
+
+    #[test]
+    fn symmetric_delay_recovers_offset_exactly() {
+        for &offset in &[0i64, 5_000, -123_456, 40_000_000_000] {
+            let s = sample(1_000_000, offset, 700, 700, 50);
+            assert_eq!(s.offset_ns(), offset, "offset {offset}");
+            assert_eq!(s.rtt_ns(), 1_400);
+        }
+    }
+
+    #[test]
+    fn asymmetric_delay_error_bounded_by_half_rtt() {
+        // Worst-case asymmetry: all delay on one leg.
+        for &(fwd, back) in &[(2_000u64, 0u64), (0, 2_000), (1_500, 500), (10, 1_990)] {
+            let true_offset = 9_000_000i64;
+            let s = sample(500_000, true_offset, fwd, back, 100);
+            let err = (s.offset_ns() - true_offset).unsigned_abs();
+            let rtt = s.rtt_ns();
+            assert_eq!(rtt, fwd + back);
+            assert!(
+                err <= rtt / 2,
+                "fwd={fwd} back={back}: err {err} > rtt/2 {}",
+                rtt / 2
+            );
+        }
+    }
+
+    #[test]
+    fn min_rtt_sample_wins() {
+        let offset = -2_000_000i64;
+        let samples = vec![
+            sample(0, offset, 5_000, 1_000, 10),       // rtt 6000, skewed
+            sample(100_000, offset, 400, 400, 10),     // rtt 800, clean
+            sample(200_000, offset, 3_000, 3_000, 10), // rtt 6000
+        ];
+        let est = estimate(&samples).expect("samples present");
+        assert_eq!(est.rtt_ns, 800);
+        assert_eq!(est.err_ns, 400);
+        assert_eq!(est.samples, 3);
+        // The clean sample is symmetric, so the offset is exact.
+        assert_eq!(est.offset_ns, offset);
+        let mapped = est.server_to_client_ns(10_000_000);
+        assert_eq!(mapped, (10_000_000i64 - offset) as u64);
+    }
+
+    #[test]
+    fn skewed_rounds_still_select_within_bound() {
+        // Progressive skew: each round's asymmetry differs; the bound
+        // must hold for whichever round wins.
+        let true_offset = 77_777i64;
+        let samples: Vec<PingSample> = (0..8)
+            .map(|i| {
+                let fwd = 300 + i * 211;
+                let back = 300 + (7 - i) * 173;
+                sample(i * 50_000, true_offset, fwd, back, 20)
+            })
+            .collect();
+        let est = estimate(&samples).expect("samples present");
+        let err = (est.offset_ns - true_offset).unsigned_abs();
+        assert!(err <= est.err_ns, "err {err} > bound {}", est.err_ns);
+    }
+
+    #[test]
+    fn empty_and_aborted_probes_yield_none() {
+        assert_eq!(estimate(&[]), None);
+        let est = run_probe(4, |_| None);
+        assert_eq!(est, None);
+    }
+
+    #[test]
+    fn run_probe_collects_partial_rounds() {
+        // Exchange succeeds twice then fails: estimate from 2 samples.
+        let mut calls = 0u32;
+        let est = run_probe(8, |seq| {
+            calls += 1;
+            if seq < 2 {
+                let now = crate::trace_now_ns();
+                Some((now, now + 10))
+            } else {
+                None
+            }
+        });
+        assert_eq!(calls, 3);
+        let est = est.expect("two good rounds");
+        assert_eq!(est.samples, 2);
+        assert!(est.err_ns <= est.rtt_ns);
+    }
+
+    #[test]
+    fn gauge_roundtrip_preserves_sign() {
+        let fwd = ClockEstimate {
+            offset_ns: 123,
+            rtt_ns: 400,
+            err_ns: 200,
+            samples: 8,
+        };
+        let got = from_gauges(Some(123), None, Some(400), Some(200)).expect("fwd");
+        assert_eq!(got.offset_ns, fwd.offset_ns);
+        assert_eq!(got.rtt_ns, 400);
+        let back = from_gauges(None, Some(999), None, None).expect("back");
+        assert_eq!(back.offset_ns, -999);
+        assert_eq!(from_gauges(None, None, Some(1), Some(1)), None);
+    }
+}

@@ -1,10 +1,12 @@
-//! Minimal JSON validator.
+//! Minimal JSON validator and reader.
 //!
 //! A recursive-descent checker for RFC 8259 JSON, used to assert that
 //! the Chrome-trace exporter emits well-formed output without pulling a
-//! serde stack into the workspace. It validates structure only — no DOM
-//! is built, so validating a multi-megabyte trace costs one pass and no
-//! allocation beyond the recursion stack.
+//! serde stack into the workspace. [`validate`] checks structure only —
+//! no DOM is built, so validating a multi-megabyte trace costs one pass
+//! and no allocation beyond the recursion stack. [`parse`] builds a
+//! [`Value`] DOM for the readers that must consume exported traces
+//! back (the cross-party trace merge).
 
 /// Validates that `input` is a single well-formed JSON value.
 ///
@@ -185,6 +187,216 @@ fn number(bytes: &[u8], pos: &mut usize) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------
+// DOM parser
+// ---------------------------------------------------------------------
+
+/// A parsed JSON value. Objects keep insertion order (a `Vec` of
+/// pairs): trace files are small-keyed and read once, so a map would
+/// buy nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string, escapes resolved.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, in source order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member `key` of an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses `input` as a single JSON value.
+pub fn parse(input: &str) -> Result<Value, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    let v = p_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn p_fail<T>(pos: usize, what: &str) -> Result<T, String> {
+    Err(format!("{what} at byte {pos}"))
+}
+
+fn p_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return p_fail(*pos, "nesting too deep");
+    }
+    match bytes.get(*pos) {
+        Some(b'{') => p_object(bytes, pos, depth),
+        Some(b'[') => p_array(bytes, pos, depth),
+        Some(b'"') => p_string(bytes, pos).map(Value::String),
+        Some(b't') => literal(bytes, pos, b"true").map(|()| Value::Bool(true)),
+        Some(b'f') => literal(bytes, pos, b"false").map(|()| Value::Bool(false)),
+        Some(b'n') => literal(bytes, pos, b"null").map(|()| Value::Null),
+        Some(b'-') | Some(b'0'..=b'9') => p_number(bytes, pos),
+        Some(_) => p_fail(*pos, "unexpected character"),
+        None => p_fail(*pos, "unexpected end of input"),
+    }
+}
+
+fn p_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    *pos += 1;
+    skip_ws(bytes, pos);
+    let mut members = Vec::new();
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            return p_fail(*pos, "expected object key string");
+        }
+        let key = p_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            return p_fail(*pos, "expected ':' after object key");
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        let v = p_value(bytes, pos, depth + 1)?;
+        members.push((key, v));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(members));
+            }
+            _ => return p_fail(*pos, "expected ',' or '}' in object"),
+        }
+    }
+}
+
+fn p_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Value, String> {
+    *pos += 1;
+    skip_ws(bytes, pos);
+    let mut items = Vec::new();
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        items.push(p_value(bytes, pos, depth + 1)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return p_fail(*pos, "expected ',' or ']' in array"),
+        }
+    }
+}
+
+fn p_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    let start = *pos;
+    string(bytes, pos)?; // syntax (and bounds) already proven here
+    let raw = &bytes[start + 1..*pos - 1];
+    let mut out = String::with_capacity(raw.len());
+    let mut i = 0usize;
+    while i < raw.len() {
+        if raw[i] != b'\\' {
+            // Copy a maximal escape-free run as UTF-8 (input is &str).
+            let run = i + raw[i..].iter().take_while(|&&b| b != b'\\').count();
+            out.push_str(std::str::from_utf8(&raw[i..run]).map_err(|e| e.to_string())?);
+            i = run;
+            continue;
+        }
+        i += 1;
+        match raw[i] {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let hex = std::str::from_utf8(&raw[i + 1..i + 5]).map_err(|e| e.to_string())?;
+                let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                i += 4;
+                let ch = if (0xD800..0xDC00).contains(&cp) {
+                    // High surrogate: require the paired \uXXXX low half.
+                    if raw.get(i + 1..i + 3) != Some(b"\\u") {
+                        return p_fail(start, "unpaired surrogate");
+                    }
+                    let hex2 =
+                        std::str::from_utf8(&raw[i + 3..i + 7]).map_err(|e| e.to_string())?;
+                    let lo = u32::from_str_radix(hex2, 16).map_err(|e| e.to_string())?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return p_fail(start, "unpaired surrogate");
+                    }
+                    i += 6;
+                    0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00)
+                } else {
+                    cp
+                };
+                out.push(char::from_u32(ch).ok_or_else(|| "invalid codepoint".to_string())?);
+            }
+            _ => unreachable!("escape validated by string()"),
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn p_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    number(bytes, pos)?;
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|e| format!("{e} at byte {start}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::validate;
@@ -227,5 +439,27 @@ mod tests {
     fn rejects_overdeep_nesting() {
         let deep = "[".repeat(200) + &"]".repeat(200);
         assert!(validate(&deep).is_err());
+    }
+
+    #[test]
+    fn parse_builds_dom() {
+        use super::{parse, Value};
+        let doc = r#"{"name": "x\né", "ts": 1.5, "neg": -2e3, "ok": true,
+                      "none": null, "items": [1, "two", {"k": 3}]}"#;
+        let v = parse(doc).expect("parse");
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("x\né"));
+        assert_eq!(v.get("ts").and_then(Value::as_f64), Some(1.5));
+        assert_eq!(v.get("neg").and_then(Value::as_f64), Some(-2000.0));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("none"), Some(&Value::Null));
+        let items = v.get("items").and_then(Value::as_array).expect("array");
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[2].get("k").and_then(Value::as_f64), Some(3.0));
+        // Surrogate pair.
+        let emoji = parse(r#""\ud83d\ude00""#).expect("surrogates");
+        assert_eq!(emoji.as_str(), Some("😀"));
+        assert!(parse(r#""\ud83d""#).is_err(), "unpaired surrogate accepted");
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\": 1} x").is_err());
     }
 }

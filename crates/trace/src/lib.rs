@@ -34,6 +34,8 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod clocksync;
+pub mod correlate;
 pub mod json;
 pub mod log;
 pub mod metrics;
@@ -79,6 +81,58 @@ fn now_ns() -> u64 {
     origin().elapsed().as_nanos() as u64
 }
 
+/// Nanoseconds since the trace origin, on the same clock every event
+/// timestamp uses. Public so protocol code can stamp wire messages
+/// (clock-sync probes) with values directly comparable to span times.
+/// The first call fixes the origin if [`enable`] has not run yet.
+#[inline]
+pub fn trace_now_ns() -> u64 {
+    now_ns()
+}
+
+// ---------------------------------------------------------------------
+// Wire trace context
+// ---------------------------------------------------------------------
+
+/// Separate switch for *wire-visible* trace context (trace ids in Setup
+/// frames, clock-sync probes). Kept independent of [`enabled`] so that
+/// merely buffering events in-process (unit tests, the overhead bench)
+/// never changes the byte stream a transport emits; binaries that
+/// export traces opt in via [`enable_wire_context`].
+static WIRE_CONTEXT: AtomicBool = AtomicBool::new(false);
+
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Turns on wire-visible trace context (idempotent). Implies [`enable`].
+pub fn enable_wire_context() {
+    enable();
+    WIRE_CONTEXT.store(true, Ordering::SeqCst);
+}
+
+/// Turns off wire-visible trace context.
+pub fn disable_wire_context() {
+    WIRE_CONTEXT.store(false, Ordering::SeqCst);
+}
+
+/// Whether wire-visible trace context is on.
+#[inline]
+pub fn wire_context_enabled() -> bool {
+    WIRE_CONTEXT.load(Ordering::Relaxed)
+}
+
+/// Allocates a wire trace id: 0 while wire context is off (the encoder
+/// emits the legacy frame layout for 0), otherwise a process-unique
+/// nonzero value — the process id in the high 32 bits, a monotonic
+/// counter in the low 32. No rng involved, so allocating ids never
+/// perturbs the deterministic protocol transcripts.
+pub fn next_wire_trace_id() -> u64 {
+    if !wire_context_enabled() {
+        return 0;
+    }
+    let seq = NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed) & 0xFFFF_FFFF;
+    ((std::process::id() as u64) << 32) | seq
+}
+
 // ---------------------------------------------------------------------
 // Event model
 // ---------------------------------------------------------------------
@@ -115,6 +169,20 @@ impl Cat {
             Cat::Session => "session",
             Cat::App => "app",
         }
+    }
+
+    /// Inverse of [`Cat::name`], for re-importing exported traces.
+    pub fn from_name(s: &str) -> Option<Cat> {
+        Some(match s {
+            "client" => Cat::Client,
+            "server" => Cat::Server,
+            "stream" => Cat::Stream,
+            "net" => Cat::Net,
+            "he" => Cat::He,
+            "session" => Cat::Session,
+            "app" => Cat::App,
+            _ => return None,
+        })
     }
 }
 
@@ -171,6 +239,9 @@ pub struct Event {
     pub parent: u32,
     /// Optional numeric payload (e.g. `("bytes", 12_345)`).
     pub arg: Option<(&'static str, u64)>,
+    /// Second payload slot (e.g. a `("flow", tag)` causal tag alongside
+    /// the byte count on a wire span).
+    pub arg2: Option<(&'static str, u64)>,
     /// Event kind.
     pub phase: Phase,
 }
@@ -326,6 +397,7 @@ struct SpanLive {
     id: u32,
     parent: u32,
     arg: Option<(&'static str, u64)>,
+    arg2: Option<(&'static str, u64)>,
 }
 
 fn enter(cat: Cat, name: Name) -> Span {
@@ -344,6 +416,7 @@ fn enter(cat: Cat, name: Name) -> Span {
             id,
             parent,
             arg: None,
+            arg2: None,
         }),
     }
 }
@@ -368,10 +441,16 @@ pub fn span_owned<F: FnOnce() -> String>(cat: Cat, f: F) -> Span {
 }
 
 impl Span {
-    /// Attaches a numeric payload exported under `args`.
+    /// Attaches a numeric payload exported under `args`. Two slots are
+    /// available; the first free one is filled (further calls replace
+    /// the second slot).
     pub fn arg(mut self, key: &'static str, value: u64) -> Span {
         if let Some(live) = &mut self.live {
-            live.arg = Some((key, value));
+            if live.arg.is_none() {
+                live.arg = Some((key, value));
+            } else {
+                live.arg2 = Some((key, value));
+            }
         }
         self
     }
@@ -412,6 +491,7 @@ impl Drop for Span {
                 id: live.id,
                 parent: live.parent,
                 arg: live.arg,
+                arg2: live.arg2,
                 phase: Phase::Span { dur_ns },
             });
         });
@@ -438,6 +518,7 @@ fn record_leaf(cat: Cat, name: Name, arg: Option<(&'static str, u64)>, phase: Ph
             id: 0,
             parent,
             arg,
+            arg2: None,
             phase,
         });
     });
@@ -849,6 +930,63 @@ mod tests {
         assert_eq!(sink.snapshot().get(Counter::KeySwitch), 3);
         set_session_counters(prev);
         reset();
+    }
+
+    #[test]
+    fn span_args_fill_both_slots_in_order() {
+        let _g = guard();
+        reset();
+        enable();
+        {
+            let _s = span(Cat::Net, "send")
+                .arg("bytes", 10)
+                .arg("flow", 99)
+                .arg("extra", 7);
+        }
+        disable();
+        let events = take_events();
+        let send = events
+            .iter()
+            .find(|e| e.name.as_str() == "send")
+            .expect("send span");
+        assert_eq!(send.arg, Some(("bytes", 10)));
+        // Third call overwrites the second slot, never the first.
+        assert_eq!(send.arg2, Some(("extra", 7)));
+        reset();
+    }
+
+    #[test]
+    fn wire_trace_ids_gate_on_wire_context() {
+        let _g = guard();
+        disable_wire_context();
+        assert_eq!(next_wire_trace_id(), 0, "zero while wire context off");
+        enable_wire_context();
+        assert!(enabled(), "wire context implies tracing");
+        let a = next_wire_trace_id();
+        let b = next_wire_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b, "ids are unique");
+        assert_eq!(a >> 32, std::process::id() as u64, "pid in high bits");
+        disable_wire_context();
+        disable();
+        assert_eq!(next_wire_trace_id(), 0);
+    }
+
+    #[test]
+    fn cat_names_roundtrip() {
+        for cat in [
+            Cat::Client,
+            Cat::Server,
+            Cat::Stream,
+            Cat::Net,
+            Cat::He,
+            Cat::Session,
+            Cat::App,
+        ] {
+            assert_eq!(Cat::from_name(cat.name()), Some(cat));
+        }
+        assert_eq!(Cat::from_name("bogus"), None);
     }
 
     #[test]

@@ -177,6 +177,7 @@ mod tests {
             id: 1,
             parent: 0,
             arg: None,
+            arg2: None,
             phase: Phase::Span { dur_ns: dur },
         }
     }
